@@ -1,0 +1,43 @@
+"""Figure 2: execution-time overhead of runtime event sampling.
+
+Paper shapes:
+
+* average overhead below ~1% for the 100K and auto intervals,
+* worst case ~3% at the finest interval (25K),
+* overhead roughly proportional to the sampling rate for sample-heavy
+  programs (db, pseudojbb); constant-dominated for sample-light ones.
+"""
+
+from conftest import write_result
+
+from repro.harness import experiments as ex
+from repro.harness.report import format_fig2
+
+
+def test_fig2_sampling_overhead(benchmark, benchmarks):
+    rows = benchmark.pedantic(ex.fig2_sampling_overhead, args=(benchmarks,),
+                              rounds=1, iterations=1)
+    write_result("fig2.txt", format_fig2(rows))
+    by_name = {r.name: r for r in rows}
+
+    # Average overhead for the coarse/auto settings stays low.
+    for interval in ("100K", "auto"):
+        avg = sum(r.overhead[interval] for r in rows) / len(rows)
+        assert avg < 0.02, f"avg overhead {avg:.3f} at {interval}"
+
+    # Worst case stays within a few percent even at 25K.
+    worst = max(r.overhead["25K"] for r in rows)
+    assert worst < 0.06, f"worst 25K overhead {worst:.3f}"
+
+    # Monotonicity for the sample-heavy programs: finer interval, more
+    # overhead (paper: "the time overhead is proportional to the
+    # sampling rate (e.g. db and pseudojbb)").
+    for name in ("db", "pseudojbb"):
+        if name in by_name:
+            o = by_name[name].overhead
+            assert o["25K"] >= o["100K"] - 0.002, (name, o)
+
+    # Nothing should get *faster* from sampling beyond noise.
+    for row in rows:
+        for interval, value in row.overhead.items():
+            assert value > -0.02, (row.name, interval, value)

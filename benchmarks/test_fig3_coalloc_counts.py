@@ -1,0 +1,60 @@
+"""Figure 3: number of co-allocated objects at different intervals.
+
+Paper shapes:
+
+* compress and mpegaudio co-allocate **zero** objects (large arrays /
+  few objects: no candidates),
+* the programs with many co-allocated objects (db, pseudojbb, hsqldb,
+  luindex, pmd) are insensitive to the interval choice,
+* the remaining programs have counts orders of magnitude lower and are
+  more sensitive to the interval.
+"""
+
+from conftest import write_result
+
+from repro.harness import experiments as ex
+from repro.harness.report import format_fig3
+
+HIGH_COUNT = ("db", "pseudojbb", "hsqldb", "luindex", "pmd")
+ZERO_COUNT = ("compress", "mpegaudio")
+
+
+def test_fig3_coalloc_counts(benchmark, benchmarks):
+    rows = benchmark.pedantic(ex.fig3_coalloc_counts, args=(benchmarks,),
+                              rounds=1, iterations=1)
+    write_result("fig3.txt", format_fig3(rows))
+    by_name = {r.name: r for r in rows}
+
+    for name in ZERO_COUNT:
+        if name in by_name:
+            assert all(c == 0 for c in by_name[name].counts.values()), \
+                by_name[name]
+
+    for name in HIGH_COUNT:
+        if name in by_name:
+            counts = by_name[name].counts
+            # Large counts at every interval...
+            assert min(counts.values()) > 1000, (name, counts)
+            # ...and insensitive to the interval (the largest interval
+            # already covers most objects).
+            assert max(counts.values()) <= 4 * max(1, min(counts.values())), \
+                (name, counts)
+
+    # db has the tallest bar, as in the paper's log-scale plot.
+    if "db" in by_name and len(by_name) > 1:
+        db_min = min(by_name["db"].counts.values())
+        others = [max(r.counts.values()) for n, r in by_name.items()
+                  if n != "db"]
+        assert db_min > max(others)
+
+    # Several of the remaining programs are interval-sensitive: their
+    # counts drop (often to zero) at the coarsest interval.
+    light_names = [n for n in by_name
+                   if n not in HIGH_COUNT and n not in ZERO_COUNT]
+    if len(light_names) >= 4:
+        sensitive = sum(
+            1 for n in light_names
+            if by_name[n].counts.get("100K", 0)
+            < by_name[n].counts.get("25K", 0)
+        )
+        assert sensitive >= 2, (sensitive, light_names)

@@ -1,0 +1,43 @@
+"""Table 1: the benchmark programs.
+
+Checks the suite composition the paper evaluates: seven SPEC JVM98
+programs, eight DaCapo programs (chart/eclipse/xalan excluded), and
+pseudojbb.
+"""
+
+from conftest import write_result
+
+from repro.harness import experiments as ex
+from repro.harness.report import format_table1
+from repro.workloads import suite
+
+
+def test_table1_benchmark_list(benchmark):
+    rows = benchmark.pedantic(ex.table1, rounds=1, iterations=1)
+    names = [r.name for r in rows]
+    assert len(rows) == 16
+    assert names == suite.all_names()
+    for excluded in ("chart", "eclipse", "xalan"):
+        assert excluded not in names
+    jvm98 = [r for r in rows if "JVM98" in r.origin]
+    dacapo = [r for r in rows if "DaCapo" in r.origin]
+    jbb = [r for r in rows if "JBB2000" in r.origin]
+    assert len(jvm98) == 7
+    assert len(dacapo) == 8
+    assert len(jbb) == 1
+    write_result("table1.txt", format_table1(rows))
+
+
+def test_table1_programs_build_and_verify(benchmark):
+    """Every workload builds a verified program with a pseudo-adaptive
+    compilation plan and a plausible minimum heap."""
+
+    def build_all():
+        return [suite.build(name) for name in suite.all_names()]
+
+    workloads = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    for workload in workloads:
+        assert workload.program.main is not None
+        assert len(workload.plan) >= 1
+        assert workload.min_heap_bytes >= 256 * 1024
+        assert workload.program.total_bytecodes() > 50

@@ -1,0 +1,51 @@
+"""Table 2: space overhead — size of the machine-code maps.
+
+Paper's findings to reproduce in shape:
+
+* machine-code maps are "4 to 5 times as large as the GC maps" for the
+  application corpus (we accept 2.5x..7x),
+* the per-application map sizes are tiny compared to the boot image,
+* jython has by far the largest compiled corpus,
+* the boot-image MC maps (library/application subset only) stay below
+  the boot-image GC maps, matching the paper's 8260 KB vs 10380 KB.
+"""
+
+from conftest import write_result
+
+from repro.harness import experiments as ex
+from repro.harness.report import format_table2
+
+
+def test_table2_space_overhead(benchmark, benchmarks):
+    rows = benchmark.pedantic(ex.table2, args=(benchmarks,),
+                              rounds=1, iterations=1)
+    write_result("table2.txt", format_table2(rows))
+    by_name = {r.name: r for r in rows}
+    boot = by_name.pop("boot image")
+    apps = list(by_name.values())
+
+    # MC maps dominate GC maps per application corpus (paper: 4-5x).
+    for row in apps:
+        assert row.mc_maps_kb >= 2 * row.gc_maps_kb, row
+        assert row.mc_maps_kb <= 8 * max(1, row.gc_maps_kb), row
+        # MC maps ~2.5x the machine code itself (the fat Jikes encoding).
+        assert row.mc_maps_kb >= 1.5 * row.machine_code_kb, row
+
+    # Application maps are small relative to the boot image.
+    largest_app = max(r.mc_maps_kb for r in apps)
+    assert boot.mc_maps_kb > 3 * largest_app, (boot, largest_app)
+
+    # Boot image: MC maps cover only the library/application subset, so
+    # they come out *below* the pre-existing GC maps (paper: 8260 < 10380).
+    assert boot.mc_maps_kb < boot.gc_maps_kb
+
+    if "jython" in by_name:
+        others = [r.machine_code_kb for r in apps if r.name != "jython"]
+        assert by_name["jython"].machine_code_kb >= max(others)
+
+
+def test_table2_boot_image_growth(benchmark):
+    """The paper reports the whole boot image growing ~20% (45 -> 54 MB)
+    from the added MC maps; check the analogous relative growth."""
+    growth = benchmark.pedantic(ex.boot_image_growth, rounds=1, iterations=1)
+    assert 0.10 <= growth <= 0.35, f"boot-image growth {growth:.2f}"

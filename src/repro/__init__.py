@@ -1,0 +1,56 @@
+"""repro — Online Optimizations Driven by Hardware Performance Monitoring.
+
+A from-scratch reproduction of Schneider, Payer & Gross (PLDI 2007):
+a simulated Pentium-4-class machine with precise event-based sampling
+(PEBS), a Java-like VM with baseline/optimizing JIT compilers and an
+adaptive optimization system, a perfmon-style three-layer sampling
+stack, generational mark-sweep and copying collectors, and the paper's
+HPM-guided object co-allocation with online feedback.
+
+Quick start::
+
+    from repro import Program, SystemConfig, run_program
+    from repro.workloads import suite
+
+    workload = suite.build("db")
+    result = run_program(workload.program,
+                         SystemConfig(coalloc=True),
+                         compilation_plan=workload.plan)
+    print(result.cycles, result.counters["L1D_MISS"])
+
+The experiment harness (``repro.harness``) regenerates every table and
+figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+"""
+
+from repro.core.config import (
+    GCConfig,
+    JITConfig,
+    MachineConfig,
+    MonitorConfig,
+    PEBSConfig,
+    PerfmonConfig,
+    SystemConfig,
+    scaled_interval,
+)
+from repro.jit.aos import CompilationPlan
+from repro.vm.program import Program
+from repro.vm.vmcore import VM, RunResult, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationPlan",
+    "GCConfig",
+    "JITConfig",
+    "MachineConfig",
+    "MonitorConfig",
+    "PEBSConfig",
+    "PerfmonConfig",
+    "Program",
+    "RunResult",
+    "SystemConfig",
+    "VM",
+    "run_program",
+    "scaled_interval",
+    "__version__",
+]

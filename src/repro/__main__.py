@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list                      the Table 1 benchmarks
+run BENCH [options]       run one benchmark, print the result summary
+table1 | table2           regenerate a table
+fig2 .. fig8              regenerate a figure
+ablations                 run the ablation experiments
+
+Examples::
+
+    python -m repro run db --heap-mult 4 --coalloc
+    python -m repro fig4 --benchmarks db,pseudojbb,compress
+    python -m repro fig6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import experiments as ex
+from repro.harness import report
+from repro.harness.runner import RunSpec, execute
+from repro.workloads import suite
+
+
+def _benchmark_list(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    names = [v.strip() for v in value.split(",") if v.strip()]
+    for name in names:
+        if name not in suite.BENCHMARKS:
+            raise SystemExit(f"unknown benchmark {name!r}; "
+                             f"known: {', '.join(suite.all_names())}")
+    return names
+
+
+def cmd_list(args) -> None:
+    for row in ex.table1():
+        print(f"{row.name:10s} {row.description}")
+
+
+def cmd_run(args) -> None:
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        heap_mult=args.heap_mult,
+        coalloc=args.coalloc,
+        monitoring=not args.no_monitoring,
+        interval=args.interval,
+        gc_plan=args.gc_plan,
+        event=args.event,
+        seed=args.seed,
+    )
+    result = execute(spec)
+    print(f"benchmark            : {result.program}")
+    print(f"cycles               : {result.cycles:,}")
+    print(f"instructions         : {result.instructions:,}")
+    print(f"L1D misses           : {result.counters['L1D_MISS']:,} "
+          f"(rate {result.l1_miss_rate:.4f})")
+    print(f"L2 misses            : {result.counters['L2_MISS']:,}")
+    print(f"DTLB misses          : {result.counters['DTLB_MISS']:,}")
+    print(f"GC                   : {result.gc_stats.summary()}")
+    print(f"cycles (app/gc/mon)  : {result.app_cycles:,} / "
+          f"{result.gc_cycles:,} / {result.monitoring_cycles:,}")
+    if result.monitor_summary:
+        print(f"monitoring           : {result.monitor_summary}")
+
+
+def cmd_table1(args) -> None:
+    print(report.format_table1(ex.table1()))
+
+
+def cmd_table2(args) -> None:
+    print(report.format_table2(ex.table2(args.benchmark_names)))
+
+
+def cmd_fig2(args) -> None:
+    print(report.format_fig2(ex.fig2_sampling_overhead(args.benchmark_names)))
+
+
+def cmd_fig3(args) -> None:
+    print(report.format_fig3(ex.fig3_coalloc_counts(args.benchmark_names)))
+
+
+def cmd_fig4(args) -> None:
+    print(report.format_fig4(ex.fig4_l1_reduction(args.benchmark_names)))
+
+
+def cmd_fig5(args) -> None:
+    print(report.format_fig5(ex.fig5_exec_time(args.benchmark_names)))
+
+
+def cmd_fig6(args) -> None:
+    print(report.format_fig6(ex.fig6_gencopy_vs_genms()))
+
+
+def cmd_fig7(args) -> None:
+    print(report.format_fig7(ex.fig7_db_timeline()))
+
+
+def cmd_fig8(args) -> None:
+    print(report.format_fig8(ex.fig8_revert()))
+
+
+def cmd_disasm(args) -> None:
+    from repro.core.interest import analyze_compiled_method
+    from repro.jit.baseline import compile_baseline
+    from repro.jit.disasm import format_compiled_method
+    from repro.jit.opt import compile_opt
+
+    workload = suite.build(args.benchmark)
+    wanted = args.method
+    method = next((m for m in workload.program.all_methods()
+                   if m.qualified_name == wanted), None)
+    if method is None:
+        known = ", ".join(sorted(m.qualified_name
+                                 for m in workload.program.all_methods()
+                                 if not m.name.startswith("cold")))
+        raise SystemExit(f"no method {wanted!r}; try one of: {known}")
+    cm = (compile_baseline(method) if args.baseline
+          else compile_opt(method))
+    cm.code_addr = 0x0800_0000  # nominal base for the listing
+    interest = analyze_compiled_method(cm)
+    print(format_compiled_method(cm, interest))
+
+
+def cmd_ablations(args) -> None:
+    from repro.harness import ablations as ab
+
+    ev = ab.event_driver_ablation()
+    print(f"event-driver ablation ({ev.benchmark}):")
+    for event, (cycles, l1, co) in ev.by_event.items():
+        print(f"  {event:10s} cycles={cycles:,} coallocated={co}")
+    oracle = ab.static_oracle_ablation()
+    print(f"\nstatic-oracle ablation ({oracle.benchmark}):")
+    print(f"  online speedup {oracle.online_speedup:.1%}, "
+          f"oracle speedup {oracle.oracle_speedup:.1%}")
+    for name in ("compress", "db"):
+        pf = ab.prefetcher_ablation(name)
+        print(f"\nprefetcher off ({name}): "
+              f"+{pf.slowdown_without:.1%} time, "
+              f"L2 misses {pf.l2_misses_with:,} -> {pf.l2_misses_without:,}")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=("Reproduction of 'Online Optimizations Driven by "
+                     "Hardware Performance Monitoring' (PLDI 2007)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark programs")
+
+    run_p = sub.add_parser("run", help="run one benchmark")
+    run_p.add_argument("benchmark", choices=suite.all_names())
+    run_p.add_argument("--heap-mult", type=float, default=4.0,
+                       help="heap as a multiple of the minimum (default 4)")
+    run_p.add_argument("--coalloc", action="store_true",
+                       help="enable HPM-guided co-allocation")
+    run_p.add_argument("--no-monitoring", action="store_true",
+                       help="disable event sampling")
+    run_p.add_argument("--interval", default="auto",
+                       choices=["25K", "50K", "100K", "auto"])
+    run_p.add_argument("--gc-plan", default="genms",
+                       choices=["genms", "gencopy"])
+    run_p.add_argument("--event", default="L1D_MISS",
+                       choices=["L1D_MISS", "L2_MISS", "DTLB_MISS"])
+    run_p.add_argument("--seed", type=int, default=1)
+
+    for name in ("table2", "fig2", "fig3", "fig4", "fig5"):
+        fig_p = sub.add_parser(name, help=f"regenerate {name}")
+        fig_p.add_argument("--benchmarks", default="",
+                           help="comma-separated subset (default: all 16)")
+    for name in ("table1", "fig6", "fig7", "fig8", "ablations"):
+        sub.add_parser(name, help=f"regenerate {name}"
+                       if name != "ablations" else "run the ablations")
+
+    dis_p = sub.add_parser("disasm", help="disassemble a benchmark method")
+    dis_p.add_argument("benchmark", choices=suite.all_names())
+    dis_p.add_argument("method", help="qualified name, e.g. App.scan")
+    dis_p.add_argument("--baseline", action="store_true",
+                       help="use the baseline compiler instead of opt")
+
+    args = parser.parse_args(argv)
+    if hasattr(args, "benchmarks"):
+        args.benchmark_names = _benchmark_list(args.benchmarks)
+
+    handlers = {
+        "list": cmd_list, "run": cmd_run,
+        "table1": cmd_table1, "table2": cmd_table2,
+        "fig2": cmd_fig2, "fig3": cmd_fig3, "fig4": cmd_fig4,
+        "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,
+        "fig8": cmd_fig8, "ablations": cmd_ablations,
+        "disasm": cmd_disasm,
+    }
+    handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Instructions-of-interest analysis (section 5.2).
+
+For each opt-compiled method, find every heap-access instruction S whose
+*base address was loaded from a reference field f*, and record the pair
+(S, f).  A cache-miss sample on S is then charged to f: "if we encounter
+a miss on I3 (load of field i), we increase the event count for the
+associated reference field (A::y)".
+
+The walk follows the HIR's explicit use-def edges upward from the base
+operand of each heap access (field/array accesses, ``arraylength``, and
+virtual calls — the object-header access).  The walk looks through
+register-to-register moves and stops at block parameters (unknown
+producer), allocations, call results, and array loads — none of which
+name a field to credit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.jit.codecache import LEVEL_OPT, CompiledMethod
+from repro.jit.hir import HEAP_ACCESS_HIR_OPS, HIRFunction, HIRInst
+from repro.vm.model import FieldInfo
+
+#: An interest table: HIR instruction id -> the reference field that
+#: produced the instruction's base address.
+InterestMap = Dict[int, FieldInfo]
+
+
+def _base_producer(inst: HIRInst) -> Optional[HIRInst]:
+    """Walk use-def edges upward from the base operand of ``inst``."""
+    if not inst.args:
+        return None
+    base = inst.args[0]
+    # Look through shield/sync copies.
+    while base is not None and base.op == "move":
+        base = base.args[0]
+    return base
+
+
+def analyze_function(func: HIRFunction) -> InterestMap:
+    """Compute the (S, f) pairs of one method's HIR."""
+    table: InterestMap = {}
+    for inst in func.all_insts():
+        if inst.op not in HEAP_ACCESS_HIR_OPS:
+            continue
+        producer = _base_producer(inst)
+        if producer is not None and producer.op == "getfield":
+            field = producer.aux
+            if field.is_ref:
+                table[inst.id] = field
+    return table
+
+
+def analyze_compiled_method(cm: CompiledMethod) -> InterestMap:
+    """Interest table for a compiled method.
+
+    Only opt-compiled methods are analyzed — "the monitoring system does
+    not consider instructions in non-optimized methods.  However, this
+    is not a major limitation since those methods are rarely executed"
+    (section 5.1).
+    """
+    if cm.level != LEVEL_OPT or cm.hir is None:
+        return {}
+    return analyze_function(cm.hir)

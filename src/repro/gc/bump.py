@@ -1,0 +1,49 @@
+"""Bump-pointer allocator (nursery, and GenCopy's copy spaces).
+
+The paper's collector "does bump-pointer allocation for young objects"
+(section 5.1): allocation is a pointer increment bounded by a limit; when
+the limit is reached the caller (the plan) must collect.
+"""
+
+from __future__ import annotations
+
+
+class BumpAllocator:
+    """Sequential allocation within ``[base, base + capacity)``."""
+
+    def __init__(self, base: int, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.base = base
+        self.capacity = capacity
+        self.cursor = base
+
+    @property
+    def used(self) -> int:
+        return self.cursor - self.base
+
+    @property
+    def remaining(self) -> int:
+        return self.base + self.capacity - self.cursor
+
+    def alloc(self, size: int) -> "int | None":
+        """Allocate ``size`` bytes; returns the address or None when full."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        size = (size + 3) & ~3
+        if self.cursor + size > self.base + self.capacity:
+            return None
+        addr = self.cursor
+        self.cursor += size
+        return addr
+
+    def reset(self, capacity: "int | None" = None) -> None:
+        """Empty the space (after evacuation); optionally resize it."""
+        self.cursor = self.base
+        if capacity is not None:
+            if capacity <= 0:
+                raise ValueError("capacity must be positive")
+            self.capacity = capacity
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.cursor

@@ -1,0 +1,222 @@
+"""Common machinery of the generational collection plans.
+
+A *plan* (MMTk terminology) owns the heap spaces, the allocation entry
+points used by the CPU's ``alloc`` instructions, the write barrier, and
+the collection triggers.  :class:`GenMSPlan` and :class:`GenCopyPlan`
+specialize promotion and full collection.
+
+The plan talks to the rest of the VM through :class:`GCHooks`:
+
+* ``roots()`` enumerates the root objects (thread stacks via GC maps,
+  statics),
+* ``charge(cycles)`` adds collector work to the simulated time,
+* ``pollute_minor()/pollute_full()`` model cache displacement
+  (DESIGN.md §5: the collector does not run through the cache simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.config import GCConfig
+from repro.gc import layout
+from repro.gc.bump import BumpAllocator
+from repro.gc.coalloc import CoallocationPolicy
+from repro.gc.los import LargeObjectSpace
+from repro.gc.remset import RememberedSet
+from repro.gc.stats import GCStats
+from repro.vm.model import ClassInfo
+from repro.vm.objects import (
+    SPACE_LOS,
+    SPACE_NURSERY,
+    HeapArray,
+    HeapObject,
+)
+
+
+class HeapExhausted(Exception):
+    """The configured heap budget cannot satisfy an allocation."""
+
+
+class GCHooks:
+    """Callbacks wiring a plan into the VM.
+
+    The defaults make a plan usable standalone in unit tests: no roots,
+    free collections, no cache model.
+    """
+
+    def __init__(self,
+                 roots: Callable[[], Iterable] = lambda: (),
+                 charge: Callable[[int], None] = lambda cycles: None,
+                 pollute_minor: Callable[[], None] = lambda: None,
+                 pollute_full: Callable[[], None] = lambda: None):
+        self.roots = roots
+        self.charge = charge
+        self.pollute_minor = pollute_minor
+        self.pollute_full = pollute_full
+
+
+class Plan:
+    """Base class: nursery allocation, LOS, barrier, heap sizing."""
+
+    name = "base"
+
+    def __init__(self, config: GCConfig, hooks: Optional[GCHooks] = None,
+                 coalloc: Optional[CoallocationPolicy] = None):
+        self.config = config
+        self.hooks = hooks or GCHooks()
+        self.coalloc = coalloc
+        self.stats = GCStats()
+        self.remset = RememberedSet()
+        self.los = LargeObjectSpace(layout.LOS_BASE,
+                                    layout.LOS_LIMIT - layout.LOS_BASE)
+        self.los_objects: List[object] = []
+        #: All nursery-resident objects since the last minor collection.
+        self.nursery_objects: List[object] = []
+        self.nursery = BumpAllocator(layout.NURSERY_BASE,
+                                     self._initial_nursery())
+        self._collecting = False
+
+    # -- sizing ------------------------------------------------------------------
+
+    def _initial_nursery(self) -> int:
+        cfg = self.config
+        return min(cfg.max_nursery_bytes,
+                   max(cfg.min_nursery_bytes, cfg.heap_bytes // 2))
+
+    def mature_footprint(self) -> int:
+        """Bytes of the budget consumed by the old generation."""
+        raise NotImplementedError
+
+    def _resize_nursery(self) -> None:
+        """Appel-style variable nursery: half the remaining budget,
+        clamped to the configured bounds."""
+        cfg = self.config
+        free = cfg.heap_bytes - self.mature_footprint()
+        self.nursery.reset(min(cfg.max_nursery_bytes,
+                               max(cfg.min_nursery_bytes, free // 2)))
+
+    def heap_pressure(self) -> bool:
+        """True when the old generation needs a full collection."""
+        budget = self.config.heap_bytes
+        return self.mature_footprint() > budget - 2 * self.config.min_nursery_bytes
+
+    # -- allocation ---------------------------------------------------------------
+
+    def alloc_object(self, class_info: ClassInfo) -> HeapObject:
+        obj = HeapObject(class_info)
+        self._place_new(obj)
+        return obj
+
+    def alloc_array(self, kind: str, length: int) -> HeapArray:
+        arr = HeapArray(kind, length)
+        self._place_new(arr)
+        return arr
+
+    def _place_new(self, obj) -> None:
+        size = obj.size
+        self.stats.alloc_objects += 1
+        self.stats.alloc_bytes += size
+        if size > self.config.max_cell_bytes:
+            # Large objects bypass the nursery (section 5.1: handled in a
+            # separate portion of the heap).
+            addr = self.los.alloc(size)
+            if addr is None:
+                self.collect_full()
+                addr = self.los.alloc(size)
+                if addr is None:
+                    raise HeapExhausted(f"LOS cannot fit {size} bytes")
+            obj.address = addr
+            obj.space = SPACE_LOS
+            self.los_objects.append(obj)
+            self.stats.los_objects += 1
+            return
+        addr = self.nursery.alloc(size)
+        if addr is None:
+            self.collect_minor()
+            addr = self.nursery.alloc(size)
+            if addr is None:
+                raise HeapExhausted(
+                    f"nursery of {self.nursery.capacity} B cannot fit {size} B"
+                )
+        obj.address = addr
+        obj.space = SPACE_NURSERY
+        self.nursery_objects.append(obj)
+
+    # -- write barrier ---------------------------------------------------------------
+
+    def write_barrier(self, holder, slot_index: int, value) -> None:
+        """Reference-store barrier; records mature->nursery slots."""
+        self.remset.record_store(holder, slot_index, value)
+        self.hooks.charge(self.config.write_barrier_cost)
+
+    # -- collection -------------------------------------------------------------------
+
+    def collect_minor(self) -> None:
+        raise NotImplementedError
+
+    def collect_full(self) -> None:
+        raise NotImplementedError
+
+    def _minor_roots(self) -> List[object]:
+        """Nursery objects directly reachable from roots and the remset."""
+        out = []
+        for root in self.hooks.roots():
+            if root is not None and root.space == SPACE_NURSERY:
+                out.append(root)
+        out.extend(self.remset.targets())
+        return out
+
+    def _trace_live_nursery(self, seeds: List[object]) -> List[object]:
+        """BFS over nursery objects only; returns them in trace order.
+
+        The old generation is not traversed: mature->nursery edges are
+        covered by the remembered set (the seeds).
+        """
+        order: List[object] = []
+        seen = set()
+        queue = list(seeds)
+        head = 0
+        while head < len(queue):
+            obj = queue[head]
+            head += 1
+            key = id(obj)
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append(obj)
+            if obj.is_array:
+                if obj.kind == "ref":
+                    for child in obj.elements:
+                        if child is not None and child.space == SPACE_NURSERY:
+                            queue.append(child)
+            else:
+                for slot, field in zip(obj.slots, obj.class_info.fields):
+                    if field.kind == "ref" and slot is not None \
+                            and slot.space == SPACE_NURSERY:
+                        queue.append(slot)
+        return order
+
+    def _trace_all_live(self) -> List[object]:
+        """Full-heap reachability (mark phase), in BFS order."""
+        order: List[object] = []
+        seen = set()
+        queue = [r for r in self.hooks.roots() if r is not None]
+        head = 0
+        while head < len(queue):
+            obj = queue[head]
+            head += 1
+            key = id(obj)
+            if key in seen:
+                continue
+            seen.add(key)
+            obj.gc_mark = True
+            order.append(obj)
+            if obj.is_array:
+                if obj.kind == "ref":
+                    queue.extend(c for c in obj.elements if c is not None)
+            else:
+                for slot, field in zip(obj.slots, obj.class_info.fields):
+                    if field.kind == "ref" and slot is not None:
+                        queue.append(slot)
+        return order

@@ -1,0 +1,63 @@
+"""Generational write barrier and remembered set.
+
+Minor collections must see every mature→nursery reference without
+scanning the whole mature space.  The write barrier intercepts reference
+stores; when a non-nursery holder receives a nursery target, the *slot*
+(holder, slot index) is remembered.  Slots — not values — are recorded,
+so the collector always reads the slot's current content at GC time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.vm.objects import SPACE_NURSERY
+
+
+class RememberedSet:
+    """Slot-remembering set with duplicate suppression."""
+
+    def __init__(self):
+        self._entries: List[Tuple[object, int]] = []
+        self._seen: Set[Tuple[int, int]] = set()
+        self.barrier_stores = 0
+        self.remembered = 0
+
+    def record_store(self, holder, slot_index: int, value) -> bool:
+        """Barrier slow path: called for every reference store.
+
+        Returns True when the slot was (newly) remembered.
+        """
+        self.barrier_stores += 1
+        if value is None or holder is None:
+            return False
+        if holder.space == SPACE_NURSERY:
+            return False
+        if value.space != SPACE_NURSERY:
+            return False
+        key = (id(holder), slot_index)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._entries.append((holder, slot_index))
+        self.remembered += 1
+        return True
+
+    def slots(self) -> Iterable[Tuple[object, int]]:
+        """The remembered (holder, slot) pairs."""
+        return list(self._entries)
+
+    def targets(self):
+        """Current nursery objects referenced from remembered slots."""
+        for holder, index in self._entries:
+            value = (holder.elements[index] if holder.is_array
+                     else holder.slots[index])
+            if value is not None and value.space == SPACE_NURSERY:
+                yield value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._seen.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,58 @@
+"""Garbage-collection statistics.
+
+Several of the paper's figures read directly off these numbers: Figure 3
+plots ``coallocated_objects``, Figure 5 folds ``gc_cycles`` into total
+execution time, and the fragmentation counters quantify the
+internal-fragmentation cost discussed for small heaps (section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class GCStats:
+    minor_gcs: int = 0
+    full_gcs: int = 0
+    #: Objects promoted out of the nursery (lifetime total).
+    promoted_objects: int = 0
+    promoted_bytes: int = 0
+    #: Objects placed by the co-allocation policy (parents + children),
+    #: the quantity of Figure 3.
+    coallocated_objects: int = 0
+    coalloc_pairs: int = 0
+    #: Pairs that matched a hot field but could not be co-allocated
+    #: (combined size above the free-list limit, child already promoted..).
+    coalloc_rejected: int = 0
+    #: Cycles spent inside the collector (charged to execution time).
+    gc_cycles: int = 0
+    #: Objects reclaimed by full collections.
+    swept_objects: int = 0
+    #: Per-class co-allocation counts (diagnostics for the harness).
+    coalloc_by_class: Dict[str, int] = field(default_factory=dict)
+    #: Largest mature footprint observed at a collection (bytes) — the
+    #: basis for per-benchmark minimum-heap estimates.
+    peak_footprint: int = 0
+    #: Allocation totals.
+    alloc_objects: int = 0
+    alloc_bytes: int = 0
+    los_objects: int = 0
+
+    def note_coalloc(self, class_name: str) -> None:
+        self.coalloc_pairs += 1
+        self.coallocated_objects += 2
+        self.coalloc_by_class[class_name] = (
+            self.coalloc_by_class.get(class_name, 0) + 1
+        )
+
+    def summary(self) -> str:
+        return (
+            f"GC: {self.minor_gcs} minor / {self.full_gcs} full, "
+            f"promoted {self.promoted_objects} objs "
+            f"({self.promoted_bytes} B), "
+            f"co-allocated {self.coallocated_objects} objs "
+            f"({self.coalloc_pairs} pairs, {self.coalloc_rejected} rejected), "
+            f"{self.gc_cycles} cycles"
+        )

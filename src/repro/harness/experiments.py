@@ -1,0 +1,378 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+Each function returns a plain-data result object that the report module
+formats like the paper's rows/series; the benchmark suite under
+``benchmarks/`` asserts the *shapes* (who wins, roughly by how much,
+where the crossovers fall) on these results.
+
+Conventions (section 6):
+
+* the **baseline** is the plain VM — no event sampling, no co-allocation
+  (the "original VM configuration", FastAdaptiveGenMS),
+* overhead/benefit runs have monitoring enabled; the co-allocation runs
+  pay the full monitoring cost, exactly as in the paper,
+* "heap size = 4x minimum heap size" is the default evaluation point;
+  Figure 5/6 sweep 1x..4x,
+* the auto interval adapts toward a fixed sample rate (section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.runner import RunSpec, execute, make_vm, measure
+from repro.jit.baseline import compile_baseline
+from repro.jit.maps import MapSizes, corpus_map_sizes, method_map_sizes
+from repro.vm.program import Program
+from repro.workloads import suite
+from repro.workloads.patterns import add_filler_methods, make_app_class
+
+#: The heap sizes of Figures 5 and 6, as multiples of the minimum heap.
+HEAP_MULTS = (1.0, 1.5, 2.0, 3.0, 4.0)
+#: The sampling intervals of Figures 2 and 3 (paper names; scaled by
+#: INTERVAL_SCALE internally).
+INTERVALS = ("25K", "50K", "100K")
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table1Row:
+    name: str
+    origin: str
+    description: str
+
+
+def table1() -> List[Table1Row]:
+    """The benchmark list."""
+    rows = []
+    for name in suite.all_names():
+        workload = suite.build(name)
+        if name in suite.JVM98_NAMES:
+            origin = "SPEC JVM98 (largest workload, s=100, repeated)"
+        elif name == "pseudojbb":
+            origin = "SPEC JBB2000, fixed transaction count"
+        else:
+            origin = "DaCapo (version 10-2006 MR-2)"
+        rows.append(Table1Row(name, origin, workload.description))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — space overhead of the machine-code maps
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table2Row:
+    name: str
+    machine_code_kb: int
+    gc_maps_kb: int
+    mc_maps_kb: int
+
+
+#: Synthetic boot-image corpus: the VM's own compiled methods.  Sized so
+#: the boot rows dominate the application rows, as in the paper; machine-
+#: code maps are only generated for the library/application subset of the
+#: boot image ("we consider only library and application classes and
+#: leave out VM internal classes").
+BOOT_CORPUS_METHODS = 12000
+#: Only library/application classes of the boot image get extended maps
+#: ("we consider only library and application classes and leave out VM
+#: internal classes") — a minority of the boot corpus.
+BOOT_MC_MAP_FRACTION = 0.13
+#: Non-code boot-image content (heap objects, JTOC, type information)
+#: relative to code+maps; used for the ~20% total-growth figure.
+BOOT_OTHER_FACTOR = 1.0
+
+
+def _boot_corpus_sizes() -> MapSizes:
+    program = Program("bootimage")
+    app = make_app_class(program)
+    methods = add_filler_methods(program, app, BOOT_CORPUS_METHODS,
+                                 body_loops=5)
+    total = MapSizes()
+    for i, method in enumerate(methods):
+        sizes = method_map_sizes(compile_baseline(method))
+        if i >= int(BOOT_CORPUS_METHODS * BOOT_MC_MAP_FRACTION):
+            sizes.mc_maps = 0  # VM-internal class: no extended map
+        total = total + sizes
+    return total
+
+
+def boot_image_growth() -> float:
+    """Relative boot-image growth caused by the extended maps
+    (paper: 45 MB -> 54 MB, i.e. ~20%)."""
+    sizes = _boot_corpus_sizes()
+    base = (sizes.machine_code + sizes.gc_maps)
+    base += int(base * BOOT_OTHER_FACTOR)
+    return sizes.mc_maps / base
+
+
+def table2(benchmarks: Optional[List[str]] = None) -> List[Table2Row]:
+    """Machine code / GC map / MC map sizes per benchmark + boot image."""
+    rows = []
+    for name in benchmarks or suite.all_names():
+        spec = RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
+                       monitoring=False)
+        result = measure(spec).result
+        sizes = corpus_map_sizes(result.vm.codecache.methods)
+        kb = sizes.kb()
+        rows.append(Table2Row(name, kb[0], kb[1], kb[2]))
+    boot = _boot_corpus_sizes().kb()
+    rows.append(Table2Row("boot image", boot[0], boot[1], boot[2]))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — sampling overhead
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OverheadRow:
+    name: str
+    #: interval name -> overhead fraction (0.01 = 1%).
+    overhead: Dict[str, float]
+
+
+def fig2_sampling_overhead(benchmarks: Optional[List[str]] = None,
+                           intervals: Tuple[str, ...] = INTERVALS + ("auto",),
+                           repeats: int = 1) -> List[OverheadRow]:
+    """Execution-time overhead of event sampling (no co-allocation),
+    relative to the no-monitoring baseline, at heap = 4x min."""
+    rows = []
+    for name in benchmarks or suite.all_names():
+        base = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
+                               monitoring=False), repeats)
+        overheads = {}
+        for interval in intervals:
+            mon = measure(RunSpec(benchmark=name, heap_mult=4.0,
+                                  coalloc=False, monitoring=True,
+                                  interval=interval), repeats)
+            overheads[interval] = mon.cycles_mean / base.cycles_mean - 1.0
+        rows.append(OverheadRow(name, overheads))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — number of co-allocated objects per interval
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CoallocRow:
+    name: str
+    #: interval name -> co-allocated object count.
+    counts: Dict[str, int]
+
+
+def fig3_coalloc_counts(benchmarks: Optional[List[str]] = None,
+                        intervals: Tuple[str, ...] = INTERVALS,
+                        ) -> List[CoallocRow]:
+    """Co-allocated objects at different sampling intervals, heap = 4x."""
+    rows = []
+    for name in benchmarks or suite.all_names():
+        counts = {}
+        for interval in intervals:
+            m = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=True,
+                                monitoring=True, interval=interval))
+            counts[interval] = m.coallocated
+        rows.append(CoallocRow(name, counts))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — L1 miss reduction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MissReductionRow:
+    name: str
+    baseline_misses: int
+    coalloc_misses: int
+
+    @property
+    def reduction(self) -> float:
+        """Fractional reduction (0.28 = 28% fewer misses)."""
+        if self.baseline_misses == 0:
+            return 0.0
+        return 1.0 - self.coalloc_misses / self.baseline_misses
+
+
+def fig4_l1_reduction(benchmarks: Optional[List[str]] = None,
+                      ) -> List[MissReductionRow]:
+    """L1 miss reduction with co-allocation on, heap = 4x min."""
+    rows = []
+    for name in benchmarks or suite.all_names():
+        base = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
+                               monitoring=False))
+        co = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=True,
+                             monitoring=True))
+        rows.append(MissReductionRow(name, base.l1_misses, co.l1_misses))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — normalized execution time across heap sizes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExecTimeRow:
+    name: str
+    #: heap multiple -> normalized time (coalloc+monitoring / plain VM).
+    normalized: Dict[float, float]
+
+
+def fig5_exec_time(benchmarks: Optional[List[str]] = None,
+                   heap_mults: Tuple[float, ...] = HEAP_MULTS,
+                   repeats: int = 1) -> List[ExecTimeRow]:
+    """Execution time of the full system relative to the plain VM,
+    heap sizes 1x..4x, auto-selected sampling interval."""
+    rows = []
+    for name in benchmarks or suite.all_names():
+        normalized = {}
+        for mult in heap_mults:
+            base = measure(RunSpec(benchmark=name, heap_mult=mult,
+                                   coalloc=False, monitoring=False), repeats)
+            co = measure(RunSpec(benchmark=name, heap_mult=mult, coalloc=True,
+                                 monitoring=True), repeats)
+            normalized[mult] = co.cycles_mean / base.cycles_mean
+        rows.append(ExecTimeRow(name, normalized))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — GenCopy vs GenMS (+ co-allocation) on db
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GCPlanComparison:
+    benchmark: str
+    #: heap multiple -> {config name -> cycles}.
+    cycles: Dict[float, Dict[str, int]]
+
+    def normalized(self, mult: float, config: str) -> float:
+        """Time relative to plain GenMS at the same heap size."""
+        return self.cycles[mult][config] / self.cycles[mult]["genms"]
+
+
+def fig6_gencopy_vs_genms(benchmark: str = "db",
+                          heap_mults: Tuple[float, ...] = HEAP_MULTS,
+                          ) -> GCPlanComparison:
+    """db under GenMS, GenMS+co-allocation, and GenCopy (section 6.3)."""
+    cycles: Dict[float, Dict[str, int]] = {}
+    for mult in heap_mults:
+        genms = measure(RunSpec(benchmark=benchmark, heap_mult=mult,
+                                coalloc=False, monitoring=False))
+        coalloc = measure(RunSpec(benchmark=benchmark, heap_mult=mult,
+                                  coalloc=True, monitoring=True))
+        gencopy = measure(RunSpec(benchmark=benchmark, heap_mult=mult,
+                                  coalloc=False, monitoring=False,
+                                  gc_plan="gencopy"))
+        cycles[mult] = {
+            "genms": int(genms.cycles_mean),
+            "genms+coalloc": int(coalloc.cycles_mean),
+            "gencopy": int(gencopy.cycles_mean),
+        }
+    return GCPlanComparison(benchmark, cycles)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — misses over time for String objects (db)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TimelineResult:
+    benchmark: str
+    field_name: str
+    #: [(end_cycle, events in period), ...]
+    per_period: List[Tuple[int, int]]
+    cumulative: List[Tuple[int, int]]
+    moving_average: List[float]
+    coallocated: int
+
+
+def fig7_db_timeline(benchmark: str = "db") -> TimelineResult:
+    """Cumulative (7a) and per-period (7b) misses attributed to
+    ``String::value`` while co-allocation is active."""
+    result = measure(RunSpec(benchmark=benchmark, heap_mult=4.0,
+                             coalloc=True, monitoring=True)).result
+    vm = result.vm
+    monitor = vm.controller.monitor
+    fld = vm.program.string_class.field("value")
+    per_period = monitor.series(fld)
+    return TimelineResult(
+        benchmark=benchmark,
+        field_name=fld.qualified_name,
+        per_period=per_period,
+        cumulative=monitor.cumulative_series(fld),
+        moving_average=monitor.moving_average([n for _, n in per_period]),
+        coallocated=result.gc_stats.coallocated_objects,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — detecting and reverting a poor placement decision
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RevertResult:
+    benchmark: str
+    per_period: List[Tuple[int, int]]
+    moving_average: List[float]
+    gap_applied_period: int
+    reverted: bool
+    reverted_period: Optional[int]
+    baseline_rate: float
+    peak_rate: float
+    final_rate: float
+
+
+def fig8_revert(benchmark: str = "db",
+                intervene_fraction: float = 0.35) -> RevertResult:
+    """Insert one cache line of empty space between String and char[]
+    mid-run; the monitoring feedback must detect the regression and
+    switch back (section 6.4, Figure 8)."""
+    # Expected run length from the normal co-allocation run.
+    normal = measure(RunSpec(benchmark=benchmark, heap_mult=4.0,
+                             coalloc=True, monitoring=True)).result
+    intervene_at = int(normal.cycles * intervene_fraction)
+
+    vm, workload = make_vm(benchmark, RunSpec(benchmark=benchmark,
+                                              heap_mult=4.0, coalloc=True,
+                                              monitoring=True))
+    fld = vm.program.string_class.field("value")
+    state = {"gap_period": -1}
+
+    def intervene(now: int) -> None:
+        # The paper: "we instructed the GC manually to place one cache
+        # line of empty space (128 bytes) between the String and the
+        # char[] objects".
+        vm.coalloc_policy.set_gap(128)
+        state["gap_period"] = len(vm.controller.monitor.periods)
+        vm.controller.feedback.begin_experiment(
+            "gap-128", fld, revert=lambda: vm.coalloc_policy.set_gap(0))
+
+    vm.scheduler.at(intervene_at, intervene)
+    vm.run()
+
+    monitor = vm.controller.monitor
+    per_period = monitor.series(fld)
+    values = [n for _, n in per_period]
+    moving = monitor.moving_average(values)
+    experiments = vm.controller.feedback.experiments
+    exp = experiments[0] if experiments else None
+    gap_period = state["gap_period"]
+    after = moving[gap_period:] if gap_period >= 0 else moving
+    return RevertResult(
+        benchmark=benchmark,
+        per_period=per_period,
+        moving_average=moving,
+        gap_applied_period=gap_period,
+        reverted=bool(exp and exp.reverted),
+        reverted_period=exp.reverted_period if exp else None,
+        baseline_rate=exp.baseline_rate if exp else 0.0,
+        peak_rate=max(after) if after else 0.0,
+        final_rate=moving[-1] if moving else 0.0,
+    )

@@ -1,0 +1,123 @@
+"""Benchmark runner: one entry point per (benchmark, configuration).
+
+The experiment figures share many configurations (Figure 4's large-heap
+runs are Figure 5's 4x points, ...), so results are memoized per
+process on the full configuration key.  Each run builds a *fresh*
+program (guest programs carry mutable static state).
+
+The paper reports timing as averages over 3 executions; the simulator
+is deterministic for a fixed seed, so repetition happens over seeds and
+the reported deviation is across-seed.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import GCConfig, SystemConfig, scaled_interval
+from repro.vm.vmcore import RunResult, VM, run_program
+from repro.workloads import suite
+
+#: Interval names accepted by the harness: the paper's three plus auto.
+INTERVAL_NAMES = ("25K", "50K", "100K", "auto")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One benchmark execution configuration."""
+
+    benchmark: str
+    heap_mult: float = 4.0
+    coalloc: bool = False
+    monitoring: bool = True
+    interval: str = "auto"          # "25K" | "50K" | "100K" | "auto"
+    gc_plan: str = "genms"
+    event: str = "L1D_MISS"
+    seed: int = 1
+
+    def system_config(self, min_heap_bytes: int) -> SystemConfig:
+        sampling = (None if self.interval == "auto"
+                    else scaled_interval(self.interval))
+        return SystemConfig(
+            gc=GCConfig(heap_bytes=int(min_heap_bytes * self.heap_mult)),
+            coalloc=self.coalloc,
+            monitoring=self.monitoring,
+            sampling_interval=sampling,
+            sampled_event=self.event,
+            gc_plan=self.gc_plan,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class Measurement:
+    """Aggregate over the repetition seeds of one spec."""
+
+    spec: RunSpec
+    cycles_mean: float
+    cycles_std: float
+    results: List[RunResult] = field(repr=False, default_factory=list)
+
+    @property
+    def result(self) -> RunResult:
+        """The first repetition (used for counters and GC statistics —
+        identical across seeds except for sampling jitter)."""
+        return self.results[0]
+
+    @property
+    def l1_misses(self) -> int:
+        return self.result.counters["L1D_MISS"]
+
+    @property
+    def coallocated(self) -> int:
+        return self.result.gc_stats.coallocated_objects
+
+
+_CACHE: Dict[RunSpec, Measurement] = {}
+
+
+def execute(spec: RunSpec) -> RunResult:
+    """Run one spec once (no caching)."""
+    if spec.interval not in INTERVAL_NAMES:
+        raise ValueError(f"unknown interval {spec.interval!r}")
+    workload = suite.build(spec.benchmark)
+    config = spec.system_config(workload.min_heap_bytes)
+    return run_program(workload.program, config, compilation_plan=workload.plan)
+
+
+def measure(spec: RunSpec, repeats: int = 1) -> Measurement:
+    """Run (memoized) with ``repeats`` seeds; aggregate cycle counts."""
+    cached = _CACHE.get(spec)
+    if cached is not None and len(cached.results) >= repeats:
+        return cached
+    results = [execute(spec if r == 0 else
+                       RunSpec(**{**spec.__dict__, "seed": spec.seed + r}))
+               for r in range(repeats)]
+    cycles = [r.cycles for r in results]
+    measurement = Measurement(
+        spec=spec,
+        cycles_mean=statistics.fmean(cycles),
+        cycles_std=statistics.pstdev(cycles) if len(cycles) > 1 else 0.0,
+        results=results,
+    )
+    _CACHE[spec] = measurement
+    return measurement
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def make_vm(benchmark: str, spec: Optional[RunSpec] = None) -> Tuple[VM, object]:
+    """Build a VM without running it (for experiments that intervene
+    mid-run, like Figure 8's manual gap insertion).
+
+    Returns ``(vm, workload)``.
+    """
+    spec = spec or RunSpec(benchmark=benchmark, coalloc=True)
+    workload = suite.build(benchmark)
+    config = spec.system_config(workload.min_heap_bytes)
+    vm = VM(workload.program, config, compilation_plan=workload.plan)
+    return vm, workload

@@ -1,0 +1,429 @@
+"""The machine-code executor.
+
+Executes the compiled code produced by :mod:`repro.jit` with full cycle
+accounting: every instruction pays its base cost, every heap/stack
+access goes through :class:`repro.hw.memsys.MemorySystem` (which feeds
+the event counters and the PEBS unit with the precise EIP), and the
+virtual-time scheduler is polled between instruction blocks so that the
+"collector thread" and the AOS timer run at the right simulated times.
+
+The CPU is also the GC's root provider: at GC points (allocations and
+calls) every frame's live references are enumerated through the
+compiler-generated GC maps — exactly the structure the paper's extended
+machine-code maps piggyback on.
+
+Implementation note: the interpreter loop accumulates cycles and
+instruction counts in locals and flushes them to ``self.cycles`` /
+``self.instructions`` at scheduler-quantum boundaries and frame
+switches.  Reentrant charges (PEBS microcode costs arriving through
+``charge`` *during* a memory access) remain correct because cycle
+accounting is purely additive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import MachineConfig
+from repro.gc import layout
+from repro.hw.isa import (
+    GuestError,
+    M_ALOAD, M_ALU, M_ALUI, M_ASTORE, M_BC, M_BR, M_CALL, M_CALLV,
+    M_GETF, M_GETSTATIC, M_LDF, M_LEN, M_MOV, M_MOVI, M_NEW, M_NEWARR,
+    M_NOP, M_NULLCHK, M_PUTF, M_PUTSTATIC, M_RET, M_STF,
+)
+from repro.hw.memsys import MemorySystem
+from repro.vm.objects import HeapArray, HeapObject
+
+#: Stack-memory bytes reserved per frame (locals + operand stack).
+FRAME_BYTES = 1024
+MAX_FRAME_WORDS = FRAME_BYTES // 4
+MAX_STACK_DEPTH = 4000
+
+#: Fixed overhead of a call/return pair beyond its instructions.
+CALL_OVERHEAD = 4
+
+#: Instructions executed between scheduler polls.
+SCHED_QUANTUM = 128
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("cm", "pc", "regs", "slots", "base", "ret_reg")
+
+    def __init__(self, cm, base: int):
+        self.cm = cm
+        self.pc = 0
+        self.regs: List[object] = [None] * cm.reg_count
+        self.slots: List[object] = [0] * cm.frame_words
+        self.base = base
+
+    def __repr__(self) -> str:
+        return f"<frame {self.cm.method.qualified_name}@{self.pc}>"
+
+
+class CPU:
+    """Executes compiled guest code against the memory hierarchy.
+
+    ``runtime`` supplies the VM services (duck-typed; see
+    :class:`repro.vm.vmcore.VM`):
+
+    * ``compiled_code_for(method)`` — returns a CompiledMethod, invoking
+      the baseline compiler on first call,
+    * ``plan`` — the GC plan (allocation, write barrier),
+    * ``static_addr(klass, field)`` — statics-table address.
+    """
+
+    def __init__(self, config: MachineConfig, mem: MemorySystem, runtime,
+                 scheduler=None):
+        self.config = config
+        self.mem = mem
+        self.runtime = runtime
+        self.scheduler = scheduler
+        self.frames: List[Frame] = []
+        self.cycles = 0
+        self.instructions = 0
+        self.exit_value = None
+        self.calls = 0
+        #: Optional software method profiler (repro.core.counting) invoked
+        #: at every call/return boundary — the instrumentation-based
+        #: alternative the paper's sampling approach is compared against.
+        self.profiler = None
+
+    # -- public API -------------------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        """Add non-application work (GC, monitoring) to the clock."""
+        self.cycles += cycles
+
+    def call_main(self, method) -> object:
+        """Execute a no-argument method to completion; returns its value."""
+        cm = self.runtime.compiled_code_for(method)
+        self._push_frame(cm, ())
+        self.run()
+        return self.exit_value
+
+    def gc_roots(self):
+        """Enumerate live references from all frames via GC maps."""
+        roots = []
+        for frame in self.frames:
+            gc_map = frame.cm.gc_maps.get(frame.pc)
+            if gc_map is None:
+                raise RuntimeError(
+                    f"no GC map at {frame.cm.method.qualified_name}"
+                    f":{frame.pc} — collection outside a GC point"
+                )
+            regs, slots = frame.regs, frame.slots
+            for kind, index in gc_map:
+                value = regs[index] if kind == "r" else slots[index]
+                if isinstance(value, (HeapObject, HeapArray)):
+                    roots.append(value)
+        return roots
+
+    # -- frames -----------------------------------------------------------------
+
+    def _push_frame(self, cm, args) -> None:
+        if len(self.frames) >= MAX_STACK_DEPTH:
+            raise GuestError("stack overflow", cm.method, 0)
+        if cm.frame_words > MAX_FRAME_WORDS:
+            raise GuestError(
+                f"frame of {cm.frame_words} words exceeds the "
+                f"{MAX_FRAME_WORDS}-word frame size", cm.method, 0)
+        base = layout.STACK_BASE + len(self.frames) * FRAME_BYTES
+        frame = Frame(cm, base)
+        frame.regs[: len(args)] = args
+        self.frames.append(frame)
+
+    # -- the interpreter loop ------------------------------------------------------
+
+    def run(self, until_cycles: Optional[int] = None) -> None:
+        """Run until the call stack empties (or a cycle deadline passes)."""
+        mem_access = self.mem.access
+        icost = self.config.instruction_cost
+        runtime = self.runtime
+        scheduler = self.scheduler
+        frames = self.frames
+        budget = SCHED_QUANTUM
+
+        while frames:
+            frame = frames[-1]
+            cm = frame.cm
+            code = cm.code
+            code_addr = cm.code_addr
+            regs = frame.regs
+            slots = frame.slots
+            fbase = frame.base
+            pc = frame.pc
+            switch = False
+            cyc = 0   # local cycle delta
+            n = 0     # local instruction delta
+
+            while not switch:
+                inst = code[pc]
+                op = inst.op
+                cyc += icost
+                n += 1
+
+                if op == M_GETF:
+                    obj = regs[inst.rs1]
+                    if obj is None:
+                        raise GuestError("null getfield", cm.method, pc)
+                    field = inst.aux
+                    cyc += mem_access(obj.address + field.offset,
+                                      False, code_addr + pc * 4)
+                    regs[inst.rd] = obj.slots[field.index]
+                    pc += 1
+                elif op == M_ALOAD:
+                    arr = regs[inst.rs1]
+                    if arr is None:
+                        raise GuestError("null array load", cm.method, pc)
+                    index = regs[inst.rs2]
+                    elems = arr.elements
+                    if index < 0 or index >= len(elems):
+                        raise GuestError(
+                            f"index {index} out of bounds [0,{len(elems)})",
+                            cm.method, pc)
+                    cyc += mem_access(arr.address + 12 + index * arr.esize,
+                                      False, code_addr + pc * 4)
+                    regs[inst.rd] = elems[index]
+                    pc += 1
+                elif op == M_ALU:
+                    a = regs[inst.rs1]
+                    b = regs[inst.rs2]
+                    aux = inst.aux
+                    if aux == "add":
+                        regs[inst.rd] = a + b
+                    elif aux == "sub":
+                        regs[inst.rd] = a - b
+                    elif aux == "mul":
+                        regs[inst.rd] = a * b
+                    elif aux == "and":
+                        regs[inst.rd] = a & b
+                    elif aux == "xor":
+                        regs[inst.rd] = a ^ b
+                    elif aux == "or":
+                        regs[inst.rd] = a | b
+                    elif aux == "shl":
+                        regs[inst.rd] = (a << (b & 31)) & 0xFFFFFFFF
+                    elif aux == "shr":
+                        regs[inst.rd] = a >> (b & 31)
+                    elif aux == "div" or aux == "rem":
+                        if b == 0:
+                            raise GuestError("division by zero", cm.method, pc)
+                        q = abs(a) // abs(b)
+                        if (a >= 0) != (b >= 0):
+                            q = -q
+                        regs[inst.rd] = q if aux == "div" else a - q * b
+                    else:
+                        raise GuestError(f"bad alu op {aux}", cm.method, pc)
+                    pc += 1
+                elif op == M_BC:
+                    a = regs[inst.rs1]
+                    cond = inst.aux
+                    if cond == "eq":
+                        taken = a == (regs[inst.rs2] if inst.rs2 is not None else 0)
+                    elif cond == "ne":
+                        taken = a != (regs[inst.rs2] if inst.rs2 is not None else 0)
+                    elif cond == "lt":
+                        taken = a < (regs[inst.rs2] if inst.rs2 is not None else 0)
+                    elif cond == "ge":
+                        taken = a >= (regs[inst.rs2] if inst.rs2 is not None else 0)
+                    elif cond == "gt":
+                        taken = a > (regs[inst.rs2] if inst.rs2 is not None else 0)
+                    elif cond == "le":
+                        taken = a <= (regs[inst.rs2] if inst.rs2 is not None else 0)
+                    elif cond == "null":
+                        taken = a is None
+                    else:  # nonnull
+                        taken = a is not None
+                    pc = inst.imm if taken else pc + 1
+                elif op == M_ALUI:
+                    a = regs[inst.rs1]
+                    b = inst.imm
+                    aux = inst.aux
+                    if aux == "add":
+                        regs[inst.rd] = a + b
+                    elif aux == "sub":
+                        regs[inst.rd] = a - b
+                    elif aux == "mul":
+                        regs[inst.rd] = a * b
+                    elif aux == "and":
+                        regs[inst.rd] = a & b
+                    elif aux == "shl":
+                        regs[inst.rd] = (a << (b & 31)) & 0xFFFFFFFF
+                    elif aux == "shr":
+                        regs[inst.rd] = a >> (b & 31)
+                    elif aux == "neg":
+                        regs[inst.rd] = -a
+                    elif aux == "div" or aux == "rem":
+                        if b == 0:
+                            raise GuestError("division by zero", cm.method, pc)
+                        q = abs(a) // abs(b)
+                        if (a >= 0) != (b >= 0):
+                            q = -q
+                        regs[inst.rd] = q if aux == "div" else a - q * b
+                    else:
+                        raise GuestError(f"bad alui op {aux}", cm.method, pc)
+                    pc += 1
+                elif op == M_MOVI:
+                    regs[inst.rd] = inst.imm
+                    pc += 1
+                elif op == M_MOV:
+                    regs[inst.rd] = regs[inst.rs1]
+                    pc += 1
+                elif op == M_LDF:
+                    cyc += mem_access(fbase + inst.imm * 4, False,
+                                      code_addr + pc * 4)
+                    regs[inst.rd] = slots[inst.imm]
+                    pc += 1
+                elif op == M_STF:
+                    cyc += mem_access(fbase + inst.imm * 4, True,
+                                      code_addr + pc * 4)
+                    slots[inst.imm] = regs[inst.rs1]
+                    pc += 1
+                elif op == M_ASTORE:
+                    arr = regs[inst.rs1]
+                    if arr is None:
+                        raise GuestError("null array store", cm.method, pc)
+                    index = regs[inst.rs2]
+                    elems = arr.elements
+                    if index < 0 or index >= len(elems):
+                        raise GuestError(
+                            f"index {index} out of bounds [0,{len(elems)})",
+                            cm.method, pc)
+                    value = regs[inst.rd]
+                    cyc += mem_access(arr.address + 12 + index * arr.esize,
+                                      True, code_addr + pc * 4)
+                    elems[index] = value
+                    if arr.kind == "ref":
+                        runtime.plan.write_barrier(arr, index, value)
+                    pc += 1
+                elif op == M_PUTF:
+                    obj = regs[inst.rs1]
+                    if obj is None:
+                        raise GuestError("null putfield", cm.method, pc)
+                    field = inst.aux
+                    value = regs[inst.rs2]
+                    cyc += mem_access(obj.address + field.offset,
+                                      True, code_addr + pc * 4)
+                    obj.slots[field.index] = value
+                    if field.kind == "ref":
+                        runtime.plan.write_barrier(obj, field.index, value)
+                    pc += 1
+                elif op == M_BR:
+                    pc = inst.imm
+                elif op == M_LEN:
+                    arr = regs[inst.rs1]
+                    if arr is None:
+                        raise GuestError("null arraylength", cm.method, pc)
+                    cyc += mem_access(arr.address + 8, False,
+                                      code_addr + pc * 4)
+                    regs[inst.rd] = len(arr.elements)
+                    pc += 1
+                elif op == M_CALL or op == M_CALLV:
+                    frame.pc = pc  # GC map anchor while the callee runs
+                    if op == M_CALL:
+                        target = inst.aux
+                    else:
+                        receiver = regs[inst.rs1]
+                        if receiver is None:
+                            raise GuestError("null receiver", cm.method, pc)
+                        # Virtual dispatch reads the object header (a heap
+                        # access the interest analysis also tracks).
+                        cyc += mem_access(receiver.address, False,
+                                          code_addr + pc * 4)
+                        target = receiver.class_info.vtable[inst.aux[1]]
+                    self.cycles += cyc + CALL_OVERHEAD
+                    self.instructions += n
+                    cyc = 0
+                    n = 0
+                    callee = runtime.compiled_code_for(target)
+                    if self.profiler is not None:
+                        self.profiler.on_call(target, self.cycles)
+                    self.calls += 1
+                    args = tuple(regs[r] for r in inst.imm)
+                    self._push_frame(callee, args)
+                    switch = True
+                elif op == M_RET:
+                    value = regs[inst.rs1] if inst.rs1 is not None else None
+                    self.cycles += cyc
+                    self.instructions += n
+                    cyc = 0
+                    n = 0
+                    if self.profiler is not None:
+                        self.profiler.on_return(self.cycles)
+                    frames.pop()
+                    if frames:
+                        caller = frames[-1]
+                        call_inst = caller.cm.code[caller.pc]
+                        if call_inst.rd is not None:
+                            caller.regs[call_inst.rd] = value
+                        caller.pc += 1
+                    else:
+                        self.exit_value = value
+                    switch = True
+                elif op == M_NEW:
+                    frame.pc = pc  # GC point
+                    self.cycles += cyc
+                    cyc = 0
+                    regs[inst.rd] = runtime.plan.alloc_object(inst.aux)
+                    cyc += runtime.plan.config.alloc_cost
+                    pc += 1
+                elif op == M_NEWARR:
+                    frame.pc = pc  # GC point
+                    length = regs[inst.rs1]
+                    if length < 0:
+                        raise GuestError("negative array size", cm.method, pc)
+                    self.cycles += cyc
+                    cyc = 0
+                    regs[inst.rd] = runtime.plan.alloc_array(inst.aux, length)
+                    cyc += runtime.plan.config.alloc_cost
+                    pc += 1
+                elif op == M_GETSTATIC:
+                    klass, field = inst.aux
+                    cyc += mem_access(runtime.static_addr(klass, field),
+                                      False, code_addr + pc * 4)
+                    regs[inst.rd] = klass.static_values[field.index]
+                    pc += 1
+                elif op == M_PUTSTATIC:
+                    klass, field = inst.aux
+                    cyc += mem_access(runtime.static_addr(klass, field),
+                                      True, code_addr + pc * 4)
+                    klass.static_values[field.index] = regs[inst.rs1]
+                    pc += 1
+                elif op == M_NULLCHK:
+                    if regs[inst.rs1] is None:
+                        raise GuestError("null receiver", cm.method, pc)
+                    pc += 1
+                elif op == M_NOP:
+                    pc += 1
+                else:
+                    raise GuestError(f"illegal opcode {op}", cm.method, pc)
+
+                budget -= 1
+                if budget <= 0:
+                    budget = SCHED_QUANTUM
+                    self.cycles += cyc
+                    self.instructions += n
+                    cyc = 0
+                    n = 0
+                    if scheduler is not None:
+                        next_time = scheduler.next_time
+                        if next_time is not None and next_time <= self.cycles:
+                            frame.pc = pc
+                            scheduler.run_due(self.cycles)
+                    if until_cycles is not None and self.cycles >= until_cycles:
+                        frame.pc = pc
+                        self.sync_counters()
+                        return
+            if cyc or n:
+                self.cycles += cyc
+                self.instructions += n
+        self.sync_counters()
+
+    def sync_counters(self) -> None:
+        """Publish instruction/cycle totals to the shared counter bank."""
+        self.mem.sync_counters()
+        self.mem.counters.counts["INSTRUCTIONS"] = self.instructions
+        self.mem.counters.counts["CYCLES"] = self.cycles

@@ -1,0 +1,87 @@
+"""Hardware performance events.
+
+The P4 performance measurement unit exposes a large set of countable
+events; PEBS supports a subset (L1/L2 cache misses, DTLB misses, ...) and
+allows only **one** event to be measured at a time (section 4.1).  This
+module defines the event vocabulary shared by the memory hierarchy, the
+PEBS unit, and the monitoring module, plus a counter bank used for the
+"normal counting" mode of operation (section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+#: Events observable in normal counting mode.
+COUNTED_EVENTS = (
+    "CYCLES",
+    "INSTRUCTIONS",
+    "LOADS",
+    "STORES",
+    "L1D_ACCESS",
+    "L1D_MISS",
+    "L2_ACCESS",
+    "L2_MISS",
+    "DTLB_ACCESS",
+    "DTLB_MISS",
+    "PREFETCHES",
+)
+
+#: Events the PEBS unit can be armed with (precise, per-instruction).
+PEBS_EVENTS = ("L1D_MISS", "L2_MISS", "DTLB_MISS")
+
+
+class UnknownEventError(ValueError):
+    """Raised when an event name is not part of the vocabulary."""
+
+
+def validate_event(name: str, *, pebs: bool = False) -> str:
+    """Validate an event name, returning it unchanged.
+
+    With ``pebs=True`` the event must additionally be PEBS-capable.
+    """
+    if name not in COUNTED_EVENTS:
+        raise UnknownEventError(f"unknown hardware event: {name!r}")
+    if pebs and name not in PEBS_EVENTS:
+        raise UnknownEventError(f"event {name!r} is not PEBS-capable")
+    return name
+
+
+@dataclass
+class EventCounters:
+    """A bank of free-running event counters (normal counting mode).
+
+    A tool can read the counter values after program execution to obtain
+    aggregate numbers such as the cache miss rate or total cycles.
+    """
+
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in COUNTED_EVENTS}
+    )
+
+    def add(self, name: str, n: int = 1) -> None:
+        self.counts[name] += n
+
+    def read(self, name: str) -> int:
+        return self.counts[validate_event(name)]
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a copy of all counters, e.g. for before/after deltas."""
+        return dict(self.counts)
+
+    def delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Return per-event differences relative to a prior snapshot."""
+        return {k: self.counts[k] - before.get(k, 0) for k in self.counts}
+
+    def reset(self, names: Iterable[str] = COUNTED_EVENTS) -> None:
+        for name in names:
+            self.counts[validate_event(name)] = 0
+
+    def miss_rate(self, miss: str, access: str) -> float:
+        """Return ``miss/access`` or 0.0 when there were no accesses."""
+        accesses = self.read(access)
+        if accesses == 0:
+            return 0.0
+        return self.read(miss) / accesses

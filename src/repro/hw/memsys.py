@@ -1,0 +1,159 @@
+"""The memory hierarchy: DTLB + L1D + L2 + main memory + prefetcher.
+
+``MemorySystem.access`` is the single entry point used by the CPU for
+every data load and store.  It returns the access latency in cycles,
+updates the hardware event counters, and notifies the PEBS unit when the
+armed event fires (carrying the precise EIP, which is what makes the
+sampling *precise* in the sense of section 3.1).
+
+This is the hottest path of the whole simulator, so it is written for
+speed: event counts are plain integer attributes folded into the
+:class:`EventCounters` bank on :meth:`sync_counters`, the L1 probe is
+inlined against the cache's set lists, and a last-page shortcut skips
+the TLB LRU bookkeeping for consecutive same-page accesses.
+Equivalences used by the fold: every data access translates exactly one
+address and probes L1 exactly once, so ``DTLB_ACCESS == L1D_ACCESS ==
+LOADS + STORES``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.config import MachineConfig
+from repro.hw.cache import Cache, StreamPrefetcher
+from repro.hw.events import EventCounters, validate_event
+from repro.hw.tlb import TLB
+
+
+class MemorySystem:
+    """A two-level data-cache hierarchy with a DTLB and a stream prefetcher."""
+
+    def __init__(self, config: MachineConfig, counters: Optional[EventCounters] = None):
+        self.config = config
+        self.counters = counters if counters is not None else EventCounters()
+        self.l1 = Cache(config.l1, "L1D")
+        self.l2 = Cache(config.l2, "L2")
+        self.tlb = TLB(config.tlb)
+        self.prefetcher = StreamPrefetcher(
+            self.l2, config.prefetch_trigger, config.prefetch_depth
+        )
+        # PEBS hook: set via arm_event().
+        self._armed_event: Optional[str] = None
+        self._pebs_hook: Optional[Callable[[int], None]] = None
+        # Fast-path state.
+        self._l1_shift = self.l1.line_shift
+        self._l1_sets = self.l1._sets
+        self._l1_mask = self.l1.set_mask
+        self._l1_ways = self.l1.ways
+        self._l2_shift = self.l2.line_shift
+        self._page_shift = self.tlb.page_shift
+        self._last_page = -1
+        # Raw event tallies (folded into ``counters`` by sync_counters).
+        self.n_loads = 0
+        self.n_stores = 0
+        self.n_l1_miss = 0
+        self.n_l2_access = 0
+        self.n_l2_miss = 0
+        self.n_dtlb_miss = 0
+        self.n_prefetch = 0
+
+    # -- PEBS attachment ----------------------------------------------------
+
+    def arm_event(self, event: str, hook: Callable[[int], None]) -> None:
+        """Arm PEBS-style sampling: ``hook(eip)`` fires on every ``event``."""
+        self._armed_event = validate_event(event, pebs=True)
+        self._pebs_hook = hook
+
+    def disarm(self) -> None:
+        self._armed_event = None
+        self._pebs_hook = None
+
+    # -- the hot path ---------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool, eip: int) -> int:
+        """Perform one data access; return its latency in cycles."""
+        cfg = self.config
+        if is_write:
+            self.n_stores += 1
+        else:
+            self.n_loads += 1
+        latency = 0
+
+        # Address translation (same-page shortcut skips LRU bookkeeping;
+        # hit/miss accounting is exact because a resident page stays
+        # resident until an intervening miss evicts it, and any eviction
+        # of the last-touched page can only happen after a page change).
+        page = addr >> self._page_shift
+        if page != self._last_page:
+            if not self.tlb.access(addr):
+                self.n_dtlb_miss += 1
+                latency = cfg.tlb.miss_penalty
+                if self._armed_event == "DTLB_MISS":
+                    self._pebs_hook(eip)
+            self._last_page = page
+
+        # L1 data cache (inlined probe, MRU-first).
+        line = addr >> self._l1_shift
+        ways = self._l1_sets[line & self._l1_mask]
+        if ways:
+            if ways[0] == line:
+                return latency + cfg.l1.hit_latency
+            if line in ways:
+                ways.remove(line)
+                ways.insert(0, line)
+                return latency + cfg.l1.hit_latency
+        self.n_l1_miss += 1
+        ways.insert(0, line)
+        if len(ways) > self._l1_ways:
+            ways.pop()
+        if self._armed_event == "L1D_MISS":
+            self._pebs_hook(eip)
+        latency += cfg.l1.hit_latency
+
+        # L2 unified cache.
+        self.n_l2_access += 1
+        l2_line = addr >> self._l2_shift
+        if self.l2.access_line(l2_line):
+            return latency + cfg.l2.hit_latency
+        self.n_l2_miss += 1
+        if self._armed_event == "L2_MISS":
+            self._pebs_hook(eip)
+        latency += cfg.l2.hit_latency + cfg.memory_latency
+
+        # Miss-stream prefetching into L2.
+        prefetched = self.prefetcher.observe_miss(l2_line)
+        if prefetched:
+            self.n_prefetch += prefetched
+        return latency
+
+    # -- counter folding --------------------------------------------------------
+
+    def sync_counters(self) -> EventCounters:
+        """Fold the raw tallies into the shared counter bank."""
+        counts = self.counters.counts
+        accesses = self.n_loads + self.n_stores
+        counts["LOADS"] = self.n_loads
+        counts["STORES"] = self.n_stores
+        counts["L1D_ACCESS"] = accesses
+        counts["L1D_MISS"] = self.n_l1_miss
+        counts["L2_ACCESS"] = self.n_l2_access
+        counts["L2_MISS"] = self.n_l2_miss
+        counts["DTLB_ACCESS"] = accesses
+        counts["DTLB_MISS"] = self.n_dtlb_miss
+        counts["PREFETCHES"] = self.n_prefetch
+        return self.counters
+
+    # -- pollution model ------------------------------------------------------
+
+    def pollute_minor(self) -> None:
+        """Model the cache displacement caused by a nursery collection."""
+        self.l1.invalidate_all()
+        self.tlb.invalidate_all()
+        self.prefetcher.reset()
+        self._last_page = -1
+
+    def pollute_full(self) -> None:
+        """Model the displacement caused by a full-heap collection."""
+        self.pollute_minor()
+        self.l2.invalidate_all()

@@ -1,0 +1,157 @@
+"""Backward liveness over machine code, feeding GC maps.
+
+Opt-compiled code keeps references in virtual registers, so its GC maps
+must come from a real liveness analysis: at every GC point (allocation
+or call) the map lists the registers that (a) may hold a reference and
+(b) are live across the point.  The analysis runs at the machine-code
+level on an instruction-granularity CFG, with register sets encoded as
+Python ints (bitsets) for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.hw.isa import (
+    MInst,
+    M_ALOAD, M_ALU, M_ALUI, M_ASTORE, M_BC, M_BR, M_CALL, M_CALLV,
+    M_GETF, M_GETSTATIC, M_LDF, M_LEN, M_MOV, M_MOVI, M_NEW, M_NEWARR,
+    M_NULLCHK, M_PUTF, M_PUTSTATIC, M_RET, M_STF, GC_POINT_OPS,
+)
+
+
+def uses_defs(inst: MInst) -> Tuple[List[int], List[int]]:
+    """Registers read and written by ``inst``."""
+    op = inst.op
+    uses: List[int] = []
+    defs: List[int] = []
+    if op in (M_ALU,):
+        uses = [inst.rs1, inst.rs2]
+        defs = [inst.rd]
+    elif op in (M_ALUI, M_MOV, M_GETF, M_LEN):
+        uses = [inst.rs1]
+        defs = [inst.rd]
+    elif op == M_MOVI or op == M_GETSTATIC:
+        defs = [inst.rd]
+    elif op == M_LDF:
+        defs = [inst.rd]
+    elif op in (M_STF, M_PUTSTATIC):
+        uses = [inst.rs1]
+    elif op == M_PUTF:
+        uses = [inst.rs1, inst.rs2]
+    elif op == M_ALOAD:
+        uses = [inst.rs1, inst.rs2]
+        defs = [inst.rd]
+    elif op == M_ASTORE:
+        # rd is the *value* register here (a use, not a def).
+        uses = [inst.rs1, inst.rs2, inst.rd]
+    elif op == M_BC:
+        uses = [inst.rs1] + ([inst.rs2] if inst.rs2 is not None else [])
+    elif op == M_CALL:
+        uses = list(inst.imm)
+        if inst.rd is not None:
+            defs = [inst.rd]
+    elif op == M_CALLV:
+        uses = [inst.rs1] + [r for r in inst.imm if r != inst.rs1]
+        if inst.rd is not None:
+            defs = [inst.rd]
+    elif op == M_RET:
+        if inst.rs1 is not None:
+            uses = [inst.rs1]
+    elif op == M_NULLCHK:
+        uses = [inst.rs1]
+    elif op == M_NEW:
+        defs = [inst.rd]
+    elif op == M_NEWARR:
+        uses = [inst.rs1]
+        defs = [inst.rd]
+    return uses, defs
+
+
+def successors(code: List[MInst], pc: int) -> List[int]:
+    inst = code[pc]
+    if inst.op == M_BR:
+        return [inst.imm]
+    if inst.op == M_BC:
+        return [inst.imm, pc + 1]
+    if inst.op == M_RET:
+        return []
+    return [pc + 1] if pc + 1 < len(code) else []
+
+
+def compute_liveness(code: List[MInst]) -> List[int]:
+    """Per-pc live-in register bitsets (int-encoded)."""
+    n = len(code)
+    use_bits = [0] * n
+    def_bits = [0] * n
+    succ: List[List[int]] = [[] for _ in range(n)]
+    pred: List[List[int]] = [[] for _ in range(n)]
+    for pc in range(n):
+        uses, defs = uses_defs(code[pc])
+        for r in uses:
+            use_bits[pc] |= 1 << r
+        for r in defs:
+            def_bits[pc] |= 1 << r
+        for s in successors(code, pc):
+            if s < n:
+                succ[pc].append(s)
+                pred[s].append(pc)
+
+    live_in = [0] * n
+    worklist = list(range(n - 1, -1, -1))
+    in_worklist = [True] * n
+    while worklist:
+        pc = worklist.pop()
+        in_worklist[pc] = False
+        live_out = 0
+        for s in succ[pc]:
+            live_out |= live_in[s]
+        new_in = use_bits[pc] | (live_out & ~def_bits[pc])
+        if new_in != live_in[pc]:
+            live_in[pc] = new_in
+            for p in pred[pc]:
+                if not in_worklist[p]:
+                    in_worklist[p] = True
+                    worklist.append(p)
+    return live_in
+
+
+def compute_gc_maps(code: List[MInst], ref_vregs: Set[int]) -> Dict[int, Tuple]:
+    """GC maps for every GC point in ``code``.
+
+    A register appears in the map when it may hold a reference
+    (``ref_vregs``, from the HIR type analysis) and is live *after* the
+    GC point; the point's own result register is excluded — at collection
+    time it does not yet hold the new object.
+    """
+    live_in = compute_liveness(code)
+    n = len(code)
+    ref_mask = 0
+    for r in ref_vregs:
+        ref_mask |= 1 << r
+    maps: Dict[int, Tuple] = {}
+    for pc, inst in enumerate(code):
+        if inst.op not in GC_POINT_OPS:
+            continue
+        live_out = 0
+        for s in successors(code, pc):
+            if s < n:
+                live_out |= live_in[s]
+        if inst.rd is not None:
+            live_out &= ~(1 << inst.rd)
+        # Arguments of the call being executed are live *during* it.
+        if inst.op in (M_CALL, M_CALLV):
+            for r in inst.imm:
+                live_out |= 1 << r
+        elif inst.op == M_NEWARR:
+            pass  # the length register holds an int
+        bits = live_out & ref_mask
+        roots = []
+        reg = 0
+        while bits:
+            if bits & 1:
+                roots.append(("r", reg))
+            bits >>= 1
+            reg += 1
+        maps[pc] = tuple(roots)
+    return maps

@@ -1,0 +1,80 @@
+"""Encoded-size model of the compiler map data structures (Table 2).
+
+The paper measures the *space overhead* of extending the bytecode
+mapping from GC points to every machine instruction: machine-code maps
+come out "4 to 5 times as large as the GC maps", and the whole boot
+image grows by ~20% (45 MB -> 54 MB).  The paper also notes the maps
+"reused the existing implementation for GC maps" and could be
+custom-tailored — i.e. the encoding is deliberately the fat Jikes one.
+
+We model the same encoding costs per entry:
+
+* machine code: 4 bytes per instruction (our fixed-width ISA),
+* GC maps: a header per GC point plus one byte per recorded root,
+* machine-code maps: one entry per machine instruction, each carrying
+  the machine-code offset and the bytecode index in the same
+  table-per-method format the GC maps use.
+
+The absolute constants are calibrated so the *ratios* of Table 2 hold
+(GC maps ~0.5x machine code, MC maps ~2.5x machine code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.hw.isa import INSTRUCTION_BYTES
+from repro.jit.codecache import CompiledMethod
+
+#: Per-method table header (method handle, bounds, index structure).
+METHOD_TABLE_HEADER_BYTES = 24
+#: Per-GC-point header: machine-code offset, bytecode index, root count,
+#: and the reference-map index word (the Jikes encoding is famously fat;
+#: calibrated so GC maps ~0.5x machine code, as in Table 2).
+GC_POINT_HEADER_BYTES = 44
+#: Per root descriptor (register/slot id + kind tag).
+GC_ROOT_ENTRY_BYTES = 4
+#: Per machine instruction in the extended map: machine-code offset,
+#: bytecode index, and the IR-instruction handle the monitor counts on
+#: (calibrated so MC maps ~2.5x machine code / 4-5x GC maps).
+MC_MAP_ENTRY_BYTES = 10
+
+
+@dataclass
+class MapSizes:
+    """Byte sizes of one method's (or one corpus') compiler metadata."""
+
+    machine_code: int = 0
+    gc_maps: int = 0
+    mc_maps: int = 0
+
+    def __add__(self, other: "MapSizes") -> "MapSizes":
+        return MapSizes(self.machine_code + other.machine_code,
+                        self.gc_maps + other.gc_maps,
+                        self.mc_maps + other.mc_maps)
+
+    def kb(self) -> "tuple[int, int, int]":
+        """(machine code, GC maps, MC maps) rounded to whole KB."""
+        return (round(self.machine_code / 1024),
+                round(self.gc_maps / 1024),
+                round(self.mc_maps / 1024))
+
+
+def method_map_sizes(cm: CompiledMethod) -> MapSizes:
+    """Encoded sizes of one compiled method's code and maps."""
+    machine_code = len(cm.code) * INSTRUCTION_BYTES
+    gc_maps = METHOD_TABLE_HEADER_BYTES
+    for roots in cm.gc_maps.values():
+        gc_maps += GC_POINT_HEADER_BYTES + GC_ROOT_ENTRY_BYTES * len(roots)
+    mc_maps = METHOD_TABLE_HEADER_BYTES + MC_MAP_ENTRY_BYTES * len(cm.code)
+    return MapSizes(machine_code, gc_maps, mc_maps)
+
+
+def corpus_map_sizes(methods: Iterable[CompiledMethod]) -> MapSizes:
+    """Aggregate sizes over a set of compiled methods (one benchmark's
+    application + library classes, or the boot image corpus)."""
+    total = MapSizes()
+    for cm in methods:
+        total = total + method_map_sizes(cm)
+    return total

@@ -1,0 +1,145 @@
+"""Classic local optimizations on HIR.
+
+The optimizing compiler applies, per basic block:
+
+* **constant folding** of integer ALU operations,
+* **redundant-load elimination** (local CSE of ``getfield`` /
+  ``getstatic`` / ``aload`` / ``len``, invalidated by stores and calls),
+* **dead-code elimination** of pure instructions whose results are
+  never used.
+
+Together with the register-based operand stack of the HIR builder, this
+is what makes opt-compiled code substantially faster than baseline
+code — the gap Jikes RVM's adaptive system (section 3.2) exploits.
+All passes preserve use-def edges (operands are rewritten through the
+replacement map), so the instructions-of-interest analysis can run on
+optimized HIR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.jit.hir import EFFECTFUL_OPS, HIRBlock, HIRFunction, HIRInst
+
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a << (b & 31)) & 0xFFFFFFFF,
+    "shr": lambda a, b: a >> (b & 31),
+}
+
+
+def _resolve(inst: Optional[HIRInst],
+             replaced: Dict[int, HIRInst]) -> Optional[HIRInst]:
+    while inst is not None and inst.id in replaced:
+        inst = replaced[inst.id]
+    return inst
+
+
+def _fold_and_cse_block(block: HIRBlock, replaced: Dict[int, HIRInst],
+                        stats: Dict[str, int]) -> None:
+    #: CSE availability: key -> producing instruction.
+    available: Dict[tuple, HIRInst] = {}
+    kept = []
+    for inst in block.insts:
+        inst.args = tuple(_resolve(a, replaced) for a in inst.args)
+        op = inst.op
+
+        # Constant folding.
+        if op == "alu":
+            args = inst.args
+            if all(a is not None and a.op == "const" for a in args):
+                fold = None
+                if len(args) == 1 and inst.aux == "neg":
+                    fold = -args[0].imm
+                elif len(args) == 2 and inst.aux in _FOLDABLE:
+                    fold = _FOLDABLE[inst.aux](args[0].imm, args[1].imm)
+                elif len(args) == 2 and inst.aux in ("div", "rem") \
+                        and args[1].imm != 0:
+                    a, b = args[0].imm, args[1].imm
+                    q = abs(a) // abs(b)
+                    q = q if (a >= 0) == (b >= 0) else -q
+                    fold = q if inst.aux == "div" else a - q * b
+                if fold is not None:
+                    inst.op = "const"
+                    inst.imm = fold
+                    inst.args = ()
+                    inst.aux = None
+                    stats["folded"] += 1
+
+        # Redundant-load elimination.
+        key = None
+        if op == "getfield":
+            key = ("gf", id(inst.args[0]), inst.aux)
+        elif op == "getstatic":
+            key = ("gs", inst.aux[1])
+        elif op == "aload":
+            key = ("al", id(inst.args[0]), id(inst.args[1]), inst.aux)
+        elif op == "len":
+            key = ("ln", id(inst.args[0]))
+        if key is not None:
+            prior = available.get(key)
+            if prior is not None:
+                replaced[inst.id] = prior
+                stats["cse"] += 1
+                continue  # drop the duplicate load
+            available[key] = inst
+
+        # Invalidation.
+        if op == "putfield":
+            field = inst.aux
+            available = {k: v for k, v in available.items()
+                         if not (k[0] == "gf" and k[2] is field)}
+        elif op == "putstatic":
+            field = inst.aux[1]
+            available = {k: v for k, v in available.items()
+                         if not (k[0] == "gs" and k[1] is field)}
+        elif op == "astore":
+            kind = inst.aux
+            available = {k: v for k, v in available.items()
+                         if not (k[0] == "al" and k[3] == kind)}
+        elif op in ("call", "callv"):
+            available.clear()
+
+        kept.append(inst)
+    block.insts = kept
+
+
+def _dce(func: HIRFunction, stats: Dict[str, int]) -> None:
+    used = set()
+    stack = []
+    for inst in func.all_insts():
+        if inst.op in EFFECTFUL_OPS:
+            stack.append(inst)
+    while stack:
+        inst = stack.pop()
+        if inst.id in used:
+            continue
+        used.add(inst.id)
+        for arg in inst.args:
+            if arg is not None and arg.id not in used:
+                stack.append(arg)
+    for block in func.blocks:
+        before = len(block.insts)
+        block.insts = [i for i in block.insts
+                       if i.op in EFFECTFUL_OPS or i.id in used
+                       or i.op == "param"]
+        stats["dce"] += before - len(block.insts)
+
+
+def optimize(func: HIRFunction) -> Dict[str, int]:
+    """Run all passes in place; returns per-pass statistics."""
+    stats = {"folded": 0, "cse": 0, "dce": 0}
+    replaced: Dict[int, HIRInst] = {}
+    for block in func.blocks:
+        _fold_and_cse_block(block, replaced, stats)
+    # Rewrite remaining stale operands (CSE may cross already-visited uses).
+    for inst in func.all_insts():
+        inst.args = tuple(_resolve(a, replaced) for a in inst.args)
+    _dce(func, stats)
+    return stats

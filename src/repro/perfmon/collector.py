@@ -1,0 +1,82 @@
+"""The sample-collector "thread" (section 4.1, part 3).
+
+"We use a separate Java thread that polls the kernel device driver via
+the JNI interface whether there are any new samples.  The polling
+interval is adaptively set ... depending on the size of the sample
+buffer and the sampling rate.  This makes sure that no samples will be
+dropped due to a full sample buffer."
+
+In the simulation the thread is a self-rescheduling virtual-time event:
+each poll drains the user library, hands the EIP batch to the
+monitoring controller (which charges the mapping cost), and adapts the
+next polling delay — shorter when the buffer runs hot, longer when
+polls come back nearly empty.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.config import PerfmonConfig
+from repro.perfmon.userlib import UserSampleLibrary
+from repro.vm.scheduler import VirtualTimeScheduler
+
+
+class CollectorThread:
+    """Adaptive polling loop feeding the monitoring controller."""
+
+    def __init__(self, userlib: UserSampleLibrary,
+                 deliver: Callable[[List[int]], object],
+                 scheduler: VirtualTimeScheduler,
+                 config: PerfmonConfig):
+        self.userlib = userlib
+        self.deliver = deliver
+        self.scheduler = scheduler
+        self.config = config
+        self.poll_interval = config.poll_min_cycles * 4
+        self.polls = 0
+        self.samples_delivered = 0
+        self._running = False
+
+    def start(self, now: int = 0) -> None:
+        if self._running:
+            raise RuntimeError("collector already running")
+        self._running = True
+        self.scheduler.after(now, self.poll_interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def drain_now(self) -> int:
+        """Synchronous final drain (end of execution)."""
+        eips = self.userlib.read_samples_with_fill()
+        if eips:
+            self.deliver(eips)
+            self.samples_delivered += len(eips)
+        return len(eips)
+
+    # -- the periodic tick -----------------------------------------------------
+
+    def _tick(self, now: int) -> None:
+        if not self._running:
+            return
+        self.polls += 1
+        eips = self.userlib.read_samples_with_fill()
+        if eips:
+            self.deliver(eips)
+            self.samples_delivered += len(eips)
+        self._adapt(len(eips))
+        self.scheduler.after(now, self.poll_interval, self._tick)
+
+    def _adapt(self, batch_size: int) -> None:
+        """Halve the interval when polls come back heavy (buffer at risk
+        of overflowing); back off when they come back nearly empty —
+        "depending on the size of the sample buffer and the sampling
+        rate" (section 4.1)."""
+        cfg = self.config
+        if batch_size >= cfg.poll_batch_high:
+            self.poll_interval = max(cfg.poll_min_cycles,
+                                     self.poll_interval // 2)
+        elif batch_size < cfg.poll_batch_low:
+            self.poll_interval = min(cfg.poll_max_cycles,
+                                     self.poll_interval * 2)

@@ -1,0 +1,97 @@
+"""Perfmon loadable-kernel-module analog (section 4.1, part 1).
+
+"This kernel module is part of the Perfmon infrastructure ... It offers
+the functions to access the performance counter hardware for a variety
+of hardware platforms.  The kernel module hides the platform-specific
+details from the JVM.  It also provides the interrupt handler that is
+called by the sampling hardware when the CPU buffer for the samples is
+full."
+
+The module owns the kernel-side sample buffer: the PMU interrupt
+handler appends the DS-buffer contents, and the user-space library
+reads batches out (pulling any pending hardware samples first, as the
+real perfmon read path does).  Overflow is counted, not fatal — the
+collector thread's adaptive polling exists precisely to keep this
+buffer from filling (section 4.1, part 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import PerfmonConfig
+from repro.hw.pebs import PEBSUnit, Sample
+
+
+class PerfmonSession:
+    """One monitoring session: an armed event with its kernel buffer."""
+
+    def __init__(self, config: PerfmonConfig, pebs: PEBSUnit,
+                 event: str, interval: int):
+        self.config = config
+        self.pebs = pebs
+        self.event = event
+        self.interval = interval
+        self._buffer: List[Sample] = []
+        self.samples_received = 0
+        self.samples_dropped = 0
+        pebs.configure(event, interval)
+
+    # -- interrupt side ---------------------------------------------------------
+
+    def on_interrupt(self, batch: List[Sample]) -> None:
+        """PMU interrupt handler: move DS samples into the kernel buffer."""
+        capacity = self.config.kernel_buffer_capacity
+        room = capacity - len(self._buffer)
+        if room >= len(batch):
+            self._buffer.extend(batch)
+            self.samples_received += len(batch)
+        else:
+            self._buffer.extend(batch[:room])
+            self.samples_received += room
+            self.samples_dropped += len(batch) - room
+
+    # -- read side ------------------------------------------------------------------
+
+    def read(self, max_samples: int) -> List[Sample]:
+        """Return up to ``max_samples``, draining pending hardware samples
+        first (the perfmon read path)."""
+        pending = self.pebs.drain()
+        if pending:
+            self.on_interrupt(pending)
+        batch = self._buffer[:max_samples]
+        del self._buffer[:len(batch)]
+        return batch
+
+    def set_interval(self, interval: int) -> None:
+        """Adjust the hardware sampling interval (auto mode)."""
+        self.interval = interval
+        self.pebs.set_interval(interval)
+
+    def close(self) -> None:
+        self.pebs.stop()
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+
+class PerfmonKernelModule:
+    """Session factory; hides the machine-specific PMU details."""
+
+    def __init__(self, config: PerfmonConfig):
+        self.config = config
+        self.session: Optional[PerfmonSession] = None
+
+    def create_session(self, pebs: PEBSUnit, event: str,
+                       interval: int) -> PerfmonSession:
+        """Arm the PMU; only one session at a time (one PEBS event on P4)."""
+        if self.session is not None:
+            raise RuntimeError("a perfmon session is already active")
+        self.session = PerfmonSession(self.config, pebs, event, interval)
+        return self.session
+
+    def close_session(self) -> None:
+        if self.session is not None:
+            self.session.close()
+            self.session = None

@@ -1,0 +1,71 @@
+"""Virtual-time event scheduler.
+
+There are no OS threads in the simulation (DESIGN.md §5): the AOS
+sampling timer, the sample-collector thread's polling, and the
+monitoring module's measurement periods are callbacks scheduled on the
+CPU's cycle counter.  The CPU polls :meth:`run_due` between instruction
+blocks; callbacks may charge cycles, reschedule themselves, or schedule
+new events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, List, Tuple
+
+
+class VirtualTimeScheduler:
+    """A min-heap of (cycle, callback) events."""
+
+    def __init__(self):
+        self._heap: List[Tuple[int, int, Callable[[int], None]]] = []
+        self._seq = count()
+        self.fired = 0
+
+    def at(self, cycle: int, fn: Callable[[int], None]) -> None:
+        """Schedule ``fn(now)`` to run once the clock reaches ``cycle``."""
+        heapq.heappush(self._heap, (cycle, next(self._seq), fn))
+
+    def after(self, now: int, delay: int, fn: Callable[[int], None]) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.at(now + delay, fn)
+
+    def every(self, start: int, interval: int,
+              fn: Callable[[int], None]) -> Callable[[], None]:
+        """Schedule a repeating event; returns a cancel function."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        cancelled = [False]
+
+        def tick(now: int) -> None:
+            if cancelled[0]:
+                return
+            fn(now)
+            self.at(now + interval, tick)
+
+        self.at(start + interval, tick)
+
+        def cancel() -> None:
+            cancelled[0] = True
+
+        return cancel
+
+    @property
+    def next_time(self) -> "int | None":
+        return self._heap[0][0] if self._heap else None
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def run_due(self, now: int) -> int:
+        """Fire every event with a deadline <= ``now``; returns the count."""
+        fired = 0
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, _, fn = heapq.heappop(heap)
+            fn(now)
+            fired += 1
+        self.fired += fired
+        return fired

@@ -1,0 +1,328 @@
+"""The virtual machine: JIT + GC + runtime + monitoring, as one unit.
+
+"We consider the JIT compiler, the virtual machine (VM), and the
+runtime system as one unit since all components must cooperate to
+perform most interesting optimizations" (section 1, footnote 1).
+
+:class:`VM` wires together:
+
+* the simulated hardware (memory hierarchy, PEBS unit, CPU),
+* the compile-only execution strategy of Jikes RVM (baseline compile on
+  first invocation; opt recompilation via the AOS or a pseudo-adaptive
+  compilation plan),
+* a generational GC plan (GenMS with optional HPM-guided co-allocation,
+  or GenCopy),
+* the three-layer sampling stack (PEBS -> perfmon kernel module ->
+  user library -> collector thread) and the online-optimization
+  controller that turns samples into GC guidance.
+
+Cycle accounting is split into application, GC, and monitoring buckets
+so the Figure 2 overhead and Figure 5/6 time breakdowns can be read off
+directly.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.controller import (
+    AUTO_INITIAL_INTERVAL,
+    OnlineOptimizationController,
+)
+from repro.gc import layout
+from repro.gc.coalloc import CoallocationPolicy
+from repro.gc.gencopy import make_plan
+from repro.gc.plan import GCHooks
+from repro.hw.cpu import CPU
+from repro.hw.events import EventCounters
+from repro.hw.memsys import MemorySystem
+from repro.hw.pebs import PEBSUnit
+from repro.jit.aos import AdaptiveOptimizationSystem, CompilationPlan
+from repro.jit.baseline import compile_baseline
+from repro.jit.codecache import CodeCache, CompiledMethod
+from repro.jit.opt import compile_opt
+from repro.perfmon.collector import CollectorThread
+from repro.perfmon.kernel import PerfmonKernelModule
+from repro.perfmon.userlib import UserSampleLibrary
+from repro.vm.model import ClassInfo, FieldInfo, MethodInfo
+from repro.vm.program import Program
+from repro.vm.scheduler import VirtualTimeScheduler
+
+
+@dataclass
+class RunResult:
+    """Everything a harness needs from one execution."""
+
+    program: str
+    cycles: int
+    instructions: int
+    app_cycles: int
+    gc_cycles: int
+    monitoring_cycles: int
+    counters: Dict[str, int]
+    gc_stats: object
+    monitor_summary: Optional[dict]
+    exit_value: object
+    #: Live references for deep inspection (time series, map sizes, ...).
+    vm: "VM" = field(repr=False, default=None)
+
+    @property
+    def l1_misses(self) -> int:
+        return self.counters["L1D_MISS"]
+
+    @property
+    def l1_miss_rate(self) -> float:
+        accesses = self.counters["L1D_ACCESS"]
+        return self.counters["L1D_MISS"] / accesses if accesses else 0.0
+
+
+class VM:
+    """One configured execution environment for one guest program."""
+
+    def __init__(self, program: Program, config: Optional[SystemConfig] = None,
+                 compilation_plan: Optional[CompilationPlan] = None,
+                 hot_field_override=None):
+        self.program = program
+        self.config = config or SystemConfig()
+        self.compilation_plan = compilation_plan
+        self.rng = random.Random(self.config.seed)
+
+        # Hardware.
+        self.counters = EventCounters()
+        self.memsys = MemorySystem(self.config.machine, self.counters)
+        self.scheduler = VirtualTimeScheduler()
+        self.codecache = CodeCache()
+
+        # Cycle buckets (application cycles are computed as the rest).
+        self.gc_cycles = 0
+        self.monitoring_cycles = 0
+        self.compile_cycles = 0
+        self._gc_disabled = 0
+
+        # Garbage collector.
+        self.coalloc_policy: Optional[CoallocationPolicy] = None
+        if self.config.coalloc and self.config.gc_plan == "genms":
+            provider = hot_field_override or self._hot_field
+            self.coalloc_policy = CoallocationPolicy(
+                provider, max_combined_bytes=self.config.gc.max_cell_bytes)
+        hooks = GCHooks(roots=self._gc_roots, charge=self._charge_gc,
+                        pollute_minor=self.memsys.pollute_minor,
+                        pollute_full=self.memsys.pollute_full)
+        self.plan = make_plan(self.config.gc_plan, self.config.gc, hooks,
+                              self.coalloc_policy)
+
+        # CPU.
+        self.cpu = CPU(self.config.machine, self.memsys, runtime=self,
+                       scheduler=self.scheduler)
+        self.method_profiler = None
+        if self.config.method_profiling:
+            from repro.core.counting import MethodProfiler
+
+            self.method_profiler = MethodProfiler(
+                event_reader=lambda: self.memsys.n_l1_miss,
+                charge=self._charge_monitoring)
+            self.cpu.profiler = self.method_profiler
+
+        # JIT.
+        self.aos = AdaptiveOptimizationSystem(self.config.jit)
+        self._statics_cursor = layout.STATICS_BASE
+        self._static_bases: Dict[int, int] = {}
+
+        # Monitoring stack.
+        self.pebs: Optional[PEBSUnit] = None
+        self.kernel: Optional[PerfmonKernelModule] = None
+        self.userlib: Optional[UserSampleLibrary] = None
+        self.collector: Optional[CollectorThread] = None
+        self.controller: Optional[OnlineOptimizationController] = None
+        if self.config.monitoring:
+            self._init_monitoring()
+
+    # -- monitoring stack ----------------------------------------------------------
+
+    def _init_monitoring(self) -> None:
+        cfg = self.config
+        self.kernel = PerfmonKernelModule(cfg.perfmon)
+        self.pebs = PEBSUnit(
+            cfg.pebs, cost_sink=self._charge_monitoring,
+            interrupt_handler=lambda batch: self.kernel.session.on_interrupt(batch),
+            rng=random.Random(cfg.seed ^ 0x5EB5))
+        interval = cfg.sampling_interval or AUTO_INITIAL_INTERVAL
+        session = self.kernel.create_session(self.pebs, cfg.sampled_event,
+                                             interval)
+        self.memsys.arm_event(cfg.sampled_event, self.pebs.on_event)
+        def sampling_switch(enable: bool) -> None:
+            if enable:
+                self.pebs.configure(cfg.sampled_event,
+                                    self.controller.current_interval)
+            else:
+                self.pebs.stop()
+
+        self.controller = OnlineOptimizationController(
+            self.codecache, cfg.monitor, cfg.perfmon,
+            charge=self._charge_monitoring,
+            set_sampling_interval=session.set_interval,
+            auto_interval=cfg.sampling_interval is None,
+            sampling_switch=sampling_switch)
+        self.controller.current_interval = interval
+        self.userlib = UserSampleLibrary(session, cfg.perfmon,
+                                         charge=self._charge_monitoring,
+                                         gc_guard=self._gc_guard)
+        self.collector = CollectorThread(self.userlib,
+                                         self.controller.process_samples,
+                                         self.scheduler, cfg.perfmon)
+
+    # -- cycle buckets ---------------------------------------------------------------
+
+    def _charge_gc(self, cycles: int) -> None:
+        self.gc_cycles += cycles
+        self.plan.stats.gc_cycles += cycles
+        self.cpu.charge(cycles)
+
+    def _charge_monitoring(self, cycles: int) -> None:
+        self.monitoring_cycles += cycles
+        self.cpu.charge(cycles)
+
+    def _charge_compile(self, cycles: int) -> None:
+        self.compile_cycles += cycles
+        self.cpu.charge(cycles)
+
+    # -- GC integration -----------------------------------------------------------------
+
+    def _gc_roots(self):
+        if self._gc_disabled:
+            raise RuntimeError("GC triggered while disabled (sample copy)")
+        roots = self.cpu.gc_roots()
+        for klass in self.program.classes.values():
+            for fld in klass.static_fields.values():
+                if fld.is_ref:
+                    value = klass.static_values[fld.index]
+                    if value is not None:
+                        roots.append(value)
+        return roots
+
+    @contextmanager
+    def _gc_guard(self):
+        """Disable the GC while samples are copied from the native side."""
+        self._gc_disabled += 1
+        try:
+            yield
+        finally:
+            self._gc_disabled -= 1
+
+    def _hot_field(self, klass: ClassInfo) -> Optional[FieldInfo]:
+        if self.controller is None:
+            return None
+        return self.controller.hot_field(klass)
+
+    # -- JIT integration -----------------------------------------------------------------
+
+    def compiled_code_for(self, method: MethodInfo) -> CompiledMethod:
+        """Compile-on-first-invocation (baseline), like Jikes RVM."""
+        cm = method.current_code
+        if cm is not None:
+            return cm
+        cm = compile_baseline(method)
+        self.codecache.install(cm)
+        self._charge_compile(
+            self.config.jit.baseline_cost_per_bc * max(1, len(method.code)))
+        method.baseline_code = cm
+        method.current_code = cm
+        method.compile_count += 1
+        if self.controller is not None:
+            self.controller.on_method_compiled(cm)
+        return cm
+
+    def opt_compile(self, method: MethodInfo) -> CompiledMethod:
+        """Recompile at the optimizing level; new calls use the new code."""
+        cm = compile_opt(method, inline=self.config.jit.inline,
+                         inline_max_bytecodes=self.config.jit.inline_max_bytecodes,
+                         devirt=self.config.jit.devirtualize)
+        self.codecache.install(cm)
+        self._charge_compile(
+            self.config.jit.opt_cost_per_bc * max(1, len(method.code)))
+        if method.current_code is not None:
+            self.codecache.note_replaced(method.current_code)
+        method.opt_code = cm
+        method.current_code = cm
+        method.compile_count += 1
+        if self.controller is not None:
+            self.controller.on_method_compiled(cm)
+        return cm
+
+    def static_addr(self, klass: ClassInfo, fld: FieldInfo) -> int:
+        base = self._static_bases.get(id(klass))
+        if base is None:
+            base = self._statics_cursor
+            self._static_bases[id(klass)] = base
+            span = max(64, 4 * len(klass.static_values))
+            self._statics_cursor += (span + 63) & ~63
+        return base + fld.offset
+
+    def _aos_tick(self, now: int) -> None:
+        frames = self.cpu.frames
+        method = frames[-1].cm.method if frames else None
+        self.aos.sample(method)
+        for decided in self.aos.poll_decisions():
+            self.opt_compile(decided)
+
+    # -- execution ------------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the program's main method to completion."""
+        if self.program.main is None:
+            raise ValueError(f"program {self.program.name} has no main")
+
+        # Pseudo-adaptive mode: apply the pre-generated compilation plan
+        # ("each program runs with a pre-generated compilation plan",
+        # section 6.1); otherwise let the AOS sample and decide.
+        if self.compilation_plan is not None:
+            wanted = set(self.compilation_plan.opt_methods)
+            for method in self.program.all_methods():
+                if method.qualified_name in wanted:
+                    self.opt_compile(method)
+        else:
+            self.scheduler.every(0, self.config.jit.aos_timer_cycles,
+                                 self._aos_tick)
+
+        if self.controller is not None:
+            self.scheduler.every(0, self.config.monitor.period_cycles,
+                                 self.controller.on_period)
+            self.collector.start()
+
+        exit_value = self.cpu.call_main(self.program.main)
+
+        # Final drain so late samples are not lost to the report.
+        if self.collector is not None:
+            self.collector.stop()
+            self.collector.drain_now()
+            self.controller.on_period(self.cpu.cycles)
+
+        self.cpu.sync_counters()
+        cycles = self.cpu.cycles
+        overhead = self.gc_cycles + self.monitoring_cycles + self.compile_cycles
+        return RunResult(
+            program=self.program.name,
+            cycles=cycles,
+            instructions=self.cpu.instructions,
+            app_cycles=cycles - overhead,
+            gc_cycles=self.gc_cycles,
+            monitoring_cycles=self.monitoring_cycles,
+            counters=self.counters.snapshot(),
+            gc_stats=self.plan.stats,
+            monitor_summary=(self.controller.summary()
+                             if self.controller else None),
+            exit_value=exit_value,
+            vm=self,
+        )
+
+
+def run_program(program: Program, config: Optional[SystemConfig] = None,
+                compilation_plan: Optional[CompilationPlan] = None,
+                hot_field_override=None) -> RunResult:
+    """Convenience one-shot entry point (the library's main API)."""
+    vm = VM(program, config, compilation_plan, hot_field_override)
+    return vm.run()

@@ -1,0 +1,164 @@
+"""DaCapo benchmark analogs (Table 1, version 10-2006 MR-2 subset).
+
+``chart``, ``eclipse`` and ``xalan`` are excluded, as in the paper
+("not compatible with version 2.4.2 of Jikes RVM").
+
+Per-benchmark targets (sections 6.2/6.3, Figures 2-5):
+
+* **antlr, fop** — small heaps, few co-allocated objects, counts
+  sensitive to the sampling interval.
+* **bloat** — one of the three programs with a real speedup: an IR node
+  graph traversed through a hot reference field.
+* **hsqldb, luindex, pmd** — many co-allocated objects, insensitive to
+  the interval; noticeable L1 reductions for pmd.
+* **jython** — by far the largest compiled-code corpus (Table 2:
+  685 KB machine code, 1870 KB MC maps).
+* **lusearch** — read-mostly index probing, moderate counts.
+"""
+
+from __future__ import annotations
+
+from repro.jit.aos import CompilationPlan
+from repro.vm.program import Program
+from repro.workloads.patterns import (
+    Workload,
+    add_filler_methods,
+    add_pair_kernel,
+    add_pair_setup,
+    add_young_churn_kernel,
+    call_fillers,
+    define_pair_classes,
+    define_pair_factory,
+    define_young_class,
+    make_app_class,
+)
+from repro.workloads.synth import Fn
+
+
+def _pair_benchmark(name: str, *, parent_class: str, n: int, rounds: int,
+                    churn_mask: int, payload_len: int, pad_ints: int = 0,
+                    payload_span: int = 0, fillers: int = 20,
+                    min_heap: int = 512 * 1024, description: str = "",
+                    young_class: str = "", young_burst: int = 0,
+                    young_keep: int = 64, seed: int = 1) -> Workload:
+    """Shared scaffolding for the pair-kernel DaCapo programs."""
+    p = Program(name)
+    app = make_app_class(p)
+    parent = define_pair_classes(p, parent_class, pad_ints=pad_ints)
+    make = define_pair_factory(p, app, parent, payload_len,
+                               payload_span=payload_span)
+    setup = add_pair_setup(p, app, make, n)
+    scan = add_pair_kernel(p, app, parent, make, n=n, churn_mask=churn_mask,
+                           payload_len=payload_len)
+    plan_methods = [scan.qualified_name, make.qualified_name]
+    young = None
+    if young_class:
+        yc = define_young_class(p, young_class)
+        young = add_young_churn_kernel(p, app, yc, burst=young_burst,
+                                       keep_every=young_keep)
+        plan_methods.append(young.qualified_name)
+    cold = add_filler_methods(p, app, fillers)
+
+    fn = Fn(p, app, "main")
+    table = fn.local()
+    keep = fn.local()
+    fn.iconst(seed).putstatic(app, "rngstate")
+    call_fillers(fn, app, cold)
+    fn.call(setup).rstore(table)
+    if young is not None:
+        fn.iconst(young_burst // young_keep + 1)
+        fn.emit("newarray", "ref").rstore(keep)
+    with fn.loop(rounds):
+        fn.rload(table).call(scan)
+        fn.getstatic(app, "checksum").emit("iadd").putstatic(app, "checksum")
+        if young is not None:
+            fn.rload(keep).call(young).emit("pop")
+    fn.ret()
+    p.set_main(fn.finish())
+
+    return Workload(
+        name=name, program=p, plan=CompilationPlan(plan_methods),
+        min_heap_bytes=min_heap, description=description,
+        hot_fields=[f"{parent_class}::data"],
+    )
+
+
+def build_antlr() -> Workload:
+    """Grammar analysis: a small persistent grammar graph, low churn —
+    few co-allocation candidates, interval-sensitive counts."""
+    return _pair_benchmark(
+        "antlr", parent_class="GrammarNode", n=260, rounds=34,
+        churn_mask=15, payload_len=10, fillers=32,
+        min_heap=320 * 1024, seed=11,
+        young_class="ParseTmp", young_burst=520, young_keep=80,
+        description="grammar-graph walks, few and interval-sensitive pairs")
+
+
+def build_bloat() -> Workload:
+    """Bytecode optimizer: heavy traversal of an IR node graph through a
+    hot reference field — one of the paper's three speedup programs."""
+    return _pair_benchmark(
+        "bloat", parent_class="IrNode", n=1050, rounds=30,
+        churn_mask=3, payload_len=14, payload_span=12, pad_ints=1,
+        fillers=70, min_heap=320 * 1024, seed=23,
+        description="IR-graph rewriting with hot use-def payloads")
+
+
+def build_fop() -> Workload:
+    """XSL-FO formatter: a tiny layout tree, one pass; almost nothing
+    matures."""
+    return _pair_benchmark(
+        "fop", parent_class="LayoutBox", n=220, rounds=30,
+        churn_mask=7, payload_len=8, fillers=4,
+        min_heap=320 * 1024, seed=31,
+        young_class="Span", young_burst=760, young_keep=60,
+        description="one-shot layout-tree formatting, tiny mature set")
+
+
+def build_hsqldb() -> Workload:
+    """In-memory SQL: rows with value arrays; many co-allocated pairs."""
+    return _pair_benchmark(
+        "hsqldb", parent_class="Row", n=1000, rounds=48,
+        churn_mask=3, payload_len=18, payload_span=16, pad_ints=1,
+        fillers=100, min_heap=320 * 1024, seed=41,
+        description="row/value-array lookups under transaction churn")
+
+
+def build_jython() -> Workload:
+    """Python-on-JVM: the largest compiled-code corpus (Table 2), frame
+    and dict-entry churn with a moderately hot chain field."""
+    return _pair_benchmark(
+        "jython", parent_class="DictEntry", n=900, rounds=30,
+        churn_mask=7, payload_len=12, fillers=250,
+        min_heap=320 * 1024, seed=53,
+        young_class="PyFrame", young_burst=240, young_keep=96,
+        description="interpreter dict/frame churn; huge method corpus")
+
+
+def build_luindex() -> Workload:
+    """Text indexing: postings built once and extended steadily — many
+    co-allocated Posting/doc-array pairs."""
+    return _pair_benchmark(
+        "luindex", parent_class="Posting", n=1000, rounds=48,
+        churn_mask=2 ** 2 - 1, payload_len=16, payload_span=12,
+        fillers=110, min_heap=320 * 1024, seed=61,
+        description="index construction with growing postings")
+
+
+def build_lusearch() -> Workload:
+    """Index search: read-mostly probes of the postings, less churn."""
+    return _pair_benchmark(
+        "lusearch", parent_class="Hit", n=1300, rounds=34,
+        churn_mask=15, payload_len=14, fillers=85,
+        min_heap=640 * 1024, seed=71,
+        description="read-mostly postings probes")
+
+
+def build_pmd() -> Workload:
+    """Source analyzer: AST nodes with a hot child field; noticeable L1
+    reduction (Figure 4)."""
+    return _pair_benchmark(
+        "pmd", parent_class="AstNode", n=900, rounds=50,
+        churn_mask=3, payload_len=12, payload_span=10,
+        fillers=55, min_heap=320 * 1024, seed=83,
+        description="AST rule matching with node churn")

@@ -1,0 +1,59 @@
+"""The benchmark suite registry (Table 1).
+
+Programs from SPEC JVM98 (largest workload, repeated), the DaCapo suite
+(version 10-2006 MR-2, minus chart/eclipse/xalan, as in the paper), and
+pseudojbb (SPEC JBB2000 with a fixed number of transactions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads import dacapo, jvm98, pseudojbb
+from repro.workloads.patterns import Workload
+
+#: Table 1 order.
+BENCHMARKS: Dict[str, Callable[[], Workload]] = {
+    "compress": jvm98.build_compress,
+    "jess": jvm98.build_jess,
+    "db": jvm98.build_db,
+    "javac": jvm98.build_javac,
+    "mpegaudio": jvm98.build_mpegaudio,
+    "mtrt": jvm98.build_mtrt,
+    "jack": jvm98.build_jack,
+    "pseudojbb": pseudojbb.build_pseudojbb,
+    "antlr": dacapo.build_antlr,
+    "bloat": dacapo.build_bloat,
+    "fop": dacapo.build_fop,
+    "hsqldb": dacapo.build_hsqldb,
+    "jython": dacapo.build_jython,
+    "luindex": dacapo.build_luindex,
+    "lusearch": dacapo.build_lusearch,
+    "pmd": dacapo.build_pmd,
+}
+
+JVM98_NAMES = ("compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack")
+DACAPO_NAMES = ("antlr", "bloat", "fop", "hsqldb", "jython", "luindex",
+                "lusearch", "pmd")
+
+#: Programs that should show zero co-allocated objects (Figure 3).
+NO_CANDIDATE_NAMES = ("compress", "mpegaudio")
+
+
+def all_names() -> List[str]:
+    return list(BENCHMARKS)
+
+
+def build(name: str) -> Workload:
+    """Build one benchmark program (a fresh Program every call)."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}"
+        ) from None
+    return builder()
+
+
+def build_all() -> List[Workload]:
+    return [build(name) for name in BENCHMARKS]

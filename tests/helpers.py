@@ -1,0 +1,59 @@
+"""Shared test helpers: small guest programs and VM drivers."""
+
+from repro.core.config import GCConfig, SystemConfig
+from repro.jit.aos import CompilationPlan
+from repro.vm.program import Program
+from repro.vm.vmcore import VM, run_program
+from repro.workloads.synth import Fn
+
+BASELINE_ONLY = CompilationPlan([])
+
+
+def run_main(program, *, config=None, plan=BASELINE_ONLY, **kwargs):
+    """Run a program's main with a minimal config (no monitoring)."""
+    if config is None:
+        config = SystemConfig(monitoring=False,
+                              gc=GCConfig(heap_bytes=2 * 1024 * 1024),
+                              **kwargs)
+    return run_program(program, config, compilation_plan=plan)
+
+
+def int_main(body, *, returns="int", plan=BASELINE_ONLY, config=None):
+    """Build a one-method program whose main computes an int into a
+    static, then run it and return that value.
+
+    ``body(fn, app)`` emits bytecode leaving one int on the stack.
+    """
+    p = Program("t")
+    app = p.define_class("App")
+    app.add_static("out", "int")
+    app.seal()
+    fn = Fn(p, app, "main")
+    body(fn, app)
+    fn.putstatic(app, "out")
+    fn.ret()
+    p.set_main(fn.finish())
+    run_main(p, plan=plan, config=config)
+    return app.static_values[app.static("out").index]
+
+
+def self_recursive_method(program, klass, name, *, args, returns, build,
+                          max_locals=None):
+    """Define a method that may reference itself in its own bytecode.
+
+    ``build(asm, method)`` emits into a raw Asm with the MethodInfo in
+    hand (Program.define_method verifies eagerly, which forbids forward
+    self-references).
+    """
+    from repro.vm.bytecode import Asm, analyze
+    from repro.vm.model import MethodInfo
+
+    method = MethodInfo(name, klass, is_static=True, arg_kinds=list(args),
+                        return_kind=returns,
+                        max_locals=max_locals or len(args), code=[])
+    klass.add_method(method)
+    asm = Asm()
+    build(asm, method)
+    method.code = asm.finish()
+    analyze(method)
+    return method

@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _benchmark_list, main
+
+
+class TestArgumentHandling:
+    def test_benchmark_list_parsing(self):
+        assert _benchmark_list("db,compress") == ["db", "compress"]
+        assert _benchmark_list("") is None
+        assert _benchmark_list(None) is None
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            _benchmark_list("db,eclipse")
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_run_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "eclipse"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "db" in out and "pseudojbb" in out
+        assert len(out.strip().splitlines()) == 16
+
+    def test_table1(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "DaCapo" in out
+
+    def test_run_small_benchmark(self, capsys):
+        main(["run", "fop", "--no-monitoring", "--heap-mult", "2"])
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "GC" in out
+
+    def test_run_with_gencopy(self, capsys):
+        main(["run", "fop", "--no-monitoring", "--gc-plan", "gencopy"])
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_fig4_subset(self, capsys):
+        main(["fig4", "--benchmarks", "fop"])
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "fop" in out

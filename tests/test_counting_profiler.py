@@ -1,0 +1,181 @@
+"""Tests for normal counting mode and instrumentation profiling."""
+
+import pytest
+
+from tests.helpers import BASELINE_ONLY
+from repro.core.config import GCConfig, SystemConfig
+from repro.core.counting import (
+    COUNTER_READ_COST,
+    CountingSession,
+    MethodProfile,
+    MethodProfiler,
+)
+from repro.hw.events import EventCounters
+from repro.jit.aos import CompilationPlan
+from repro.vm.program import Program
+from repro.vm.vmcore import run_program
+from repro.workloads.synth import Fn
+
+
+class TestCountingSession:
+    def test_delta_reporting(self):
+        counters = EventCounters()
+        session = CountingSession(counters, events=["L1D_MISS", "CYCLES"])
+        counters.add("L1D_MISS", 5)
+        session.start()
+        counters.add("L1D_MISS", 12)
+        counters.add("CYCLES", 100)
+        deltas = session.stop()
+        assert deltas == {"L1D_MISS": 12, "CYCLES": 100}
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            CountingSession(EventCounters()).stop()
+
+    def test_restartable(self):
+        counters = EventCounters()
+        session = CountingSession(counters, events=["LOADS"])
+        session.start()
+        counters.add("LOADS", 3)
+        assert session.stop() == {"LOADS": 3}
+        session.start()
+        counters.add("LOADS", 4)
+        assert session.stop() == {"LOADS": 4}
+
+    def test_compare_transformations(self):
+        before = {"L1D_MISS": 100, "CYCLES": 1000}
+        after = {"L1D_MISS": 72, "CYCLES": 900}
+        rel = CountingSession.compare(before, after)
+        assert rel["L1D_MISS"] == pytest.approx(-0.28)
+        assert rel["CYCLES"] == pytest.approx(-0.10)
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(Exception):
+            CountingSession(EventCounters(), events=["BOGUS"])
+
+
+class TestMethodProfilerUnit:
+    def make(self):
+        state = {"events": 0}
+        charged = []
+        profiler = MethodProfiler(lambda: state["events"], charged.append)
+        return profiler, state, charged
+
+    def fake_method(self, name="m"):
+        p = Program("t")
+        k = p.define_class("K")
+        fn = Fn(p, k, name, args=["int"], returns="int")
+        fn.iload(0).iret()
+        return fn.finish()
+
+    def test_exclusive_attribution(self):
+        profiler, state, _ = self.make()
+        outer, inner = self.fake_method("outer"), self.fake_method("inner")
+        profiler.on_call(outer, cycles=0)
+        state["events"] = 10           # outer runs, 10 events
+        profiler.on_call(inner, cycles=100)
+        state["events"] = 25           # inner runs, 15 events
+        profiler.on_return(cycles=150)
+        state["events"] = 30           # outer again, 5 events
+        profiler.on_return(cycles=200)
+        assert profiler.profiles[outer].events == 15  # 10 + 5
+        assert profiler.profiles[inner].events == 15
+        assert profiler.profiles[outer].cycles == 150  # 100 + 50
+        assert profiler.profiles[inner].cycles == 50
+
+    def test_invocation_counts(self):
+        profiler, state, _ = self.make()
+        m = self.fake_method()
+        for _ in range(3):
+            profiler.on_call(m, cycles=0)
+            profiler.on_return(cycles=0)
+        assert profiler.profiles[m].invocations == 3
+
+    def test_boundary_cost_charged(self):
+        profiler, state, charged = self.make()
+        m = self.fake_method()
+        profiler.on_call(m, cycles=0)
+        profiler.on_return(cycles=1)
+        assert sum(charged) == 2 * COUNTER_READ_COST
+        assert profiler.total_overhead_cycles() == 2 * COUNTER_READ_COST
+
+    def test_ranked_by_events(self):
+        profiler, state, _ = self.make()
+        hot, cold = self.fake_method("hot"), self.fake_method("cold")
+        profiler.on_call(cold, 0)
+        state["events"] = 1
+        profiler.on_return(10)
+        profiler.on_call(hot, 10)
+        state["events"] = 100
+        profiler.on_return(20)
+        assert [p.method for p in profiler.ranked()] == [hot, cold]
+
+
+class TestMethodProfilerEndToEnd:
+    def build(self):
+        p = Program("prof")
+        app = p.define_class("App")
+        app.add_static("out", "int")
+        app.seal()
+        box = p.define_class("Box")
+        box.add_field("v", "int")
+        box.seal()
+        # A hot method touching memory and a cold one doing arithmetic.
+        hot = Fn(p, app, "hot", args=["ref"], returns="int")
+        acc = hot.local()
+        hot.iconst(0).istore(acc)
+        with hot.loop(64) as i:
+            hot.rload(0).iload(i).emit("arrload", "ref")
+            hot.getfield(box, "v")
+            hot.iload(acc).emit("iadd").istore(acc)
+        hot.iload(acc).iret()
+        hot_m = hot.finish()
+        cold = Fn(p, app, "cold", args=["int"], returns="int")
+        cold.iload(0).iconst(3).emit("imul").iret()
+        cold_m = cold.finish()
+
+        fn = Fn(p, app, "main")
+        arr = fn.local()
+        b = fn.local()
+        fn.iconst(64).emit("newarray", "ref").rstore(arr)
+        with fn.loop(64) as i:
+            fn.new(box).rstore(b)
+            fn.rload(b).iload(i).putfield(box, "v")
+            fn.rload(arr).iload(i).rload(b).emit("arrstore", "ref")
+        with fn.loop(30):
+            fn.rload(arr).call(hot_m).emit("pop")
+            fn.iconst(1).call(cold_m).emit("pop")
+        fn.ret()
+        p.set_main(fn.finish())
+        return p, app, hot_m, cold_m
+
+    def test_profiler_identifies_hot_method(self):
+        p, app, hot_m, cold_m = self.build()
+        cfg = SystemConfig(monitoring=False, method_profiling=True,
+                           gc=GCConfig(heap_bytes=1024 * 1024))
+        result = run_program(p, cfg, compilation_plan=BASELINE_ONLY)
+        profiler = result.vm.method_profiler
+        ranked = profiler.ranked()
+        assert ranked[0].method is hot_m
+        assert profiler.profiles[hot_m].invocations == 30
+        assert profiler.profiles[cold_m].invocations == 30
+        assert profiler.profiles[hot_m].events > \
+            profiler.profiles[cold_m].events
+
+    def test_instrumentation_costs_more_than_sampling(self):
+        """The paper's section 6.2 point: HPM sampling overhead is low
+        compared to software-only profiling."""
+        def run(method_profiling, monitoring):
+            p, app, hot_m, cold_m = self.build()
+            cfg = SystemConfig(monitoring=monitoring,
+                               method_profiling=method_profiling,
+                               gc=GCConfig(heap_bytes=1024 * 1024))
+            return run_program(p, cfg, compilation_plan=BASELINE_ONLY)
+
+        plain = run(False, False)
+        instrumented = run(True, False)
+        sampled = run(False, True)
+        instr_overhead = instrumented.cycles / plain.cycles - 1
+        sampling_overhead = sampled.cycles / plain.cycles - 1
+        assert instr_overhead > sampling_overhead
+        assert instr_overhead > 0.01  # instrumentation is clearly visible

@@ -1,0 +1,83 @@
+"""Tests for the disassembler/listing utilities."""
+
+from repro.core.interest import analyze_compiled_method
+from repro.jit.baseline import compile_baseline
+from repro.jit.disasm import (
+    format_bytecode,
+    format_compiled_method,
+    format_machine_code,
+)
+from repro.jit.opt import compile_opt
+from repro.vm.program import Program
+from repro.workloads.synth import Fn
+
+
+def chase():
+    p = Program("t")
+    app = p.define_class("App")
+    app.seal()
+    a = p.define_class("A")
+    a.add_field("y", "ref")
+    a.add_field("i", "int")
+    a.seal()
+    fn = Fn(p, app, "foo", args=["ref"], returns="int")
+    fn.rload(0).getfield(a, "y").getfield(a, "i").iret()
+    return fn.finish()
+
+
+class TestFormatBytecode:
+    def test_lists_every_instruction(self):
+        m = chase()
+        text = format_bytecode(m)
+        assert text.count("\n") == len(m.code)
+        assert "getfield" in text
+        assert "A::y" in text
+
+    def test_branches_marked(self):
+        p = Program("t")
+        app = p.define_class("App")
+        app.seal()
+        fn = Fn(p, app, "m", returns="int")
+        with fn.loop(3):
+            pass
+        fn.iconst(0).iret()
+        text = format_bytecode(fn.finish())
+        assert "->" in text
+
+
+class TestFormatMachineCode:
+    def test_eips_and_maps_shown(self):
+        m = chase()
+        cm = compile_opt(m)
+        cm.code_addr = 0x0800_0000
+        interest = analyze_compiled_method(cm)
+        text = format_machine_code(cm, interest)
+        assert "0x0800000" in text
+        assert "[interest -> A::y]" in text
+        assert text.count("\n") == len(cm.code)
+
+    def test_gc_maps_annotated(self):
+        p = Program("t")
+        app = p.define_class("App")
+        app.seal()
+        box = p.define_class("Box")
+        box.seal()
+        fn = Fn(p, app, "mk", args=["ref"], returns="ref")
+        fn.new(box).rret()
+        cm = compile_opt(fn.finish())
+        cm.code_addr = 0x0800_0000
+        assert "[gc:" in format_machine_code(cm)
+
+    def test_baseline_listing(self):
+        cm = compile_baseline(chase())
+        cm.code_addr = 0x0800_0000
+        text = format_machine_code(cm)
+        assert "baseline code" in text
+        assert "ldf" in text
+
+    def test_full_listing_combines_levels(self):
+        cm = compile_opt(chase())
+        cm.code_addr = 0x0800_0000
+        text = format_compiled_method(cm)
+        assert "bytecode of" in text
+        assert "opt code of" in text

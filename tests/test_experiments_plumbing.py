@@ -1,0 +1,77 @@
+"""Plumbing tests for the experiment drivers, on a small fast subset.
+
+The benchmark suite asserts the paper's *shapes* on the full matrix;
+these tests assert the drivers' *mechanics* (correct configurations
+compared, correct normalization) cheaply, so refactoring the harness is
+safe without a 10-minute run.
+"""
+
+import pytest
+
+from repro.harness import experiments as ex
+from repro.harness.runner import RunSpec, clear_cache, measure
+
+SMALL = ["fop"]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _warm_cache():
+    yield
+    clear_cache()
+
+
+class TestFig2Plumbing:
+    def test_overhead_relative_to_no_monitoring(self):
+        rows = ex.fig2_sampling_overhead(SMALL, intervals=("auto",))
+        (row,) = rows
+        base = measure(RunSpec(benchmark="fop", heap_mult=4.0,
+                               coalloc=False, monitoring=False))
+        mon = measure(RunSpec(benchmark="fop", heap_mult=4.0,
+                              coalloc=False, monitoring=True,
+                              interval="auto"))
+        expected = mon.cycles_mean / base.cycles_mean - 1.0
+        assert row.overhead["auto"] == pytest.approx(expected)
+
+    def test_requested_intervals_only(self):
+        rows = ex.fig2_sampling_overhead(SMALL, intervals=("25K", "auto"))
+        assert set(rows[0].overhead) == {"25K", "auto"}
+
+
+class TestFig4Fig5Plumbing:
+    def test_fig4_counts_match_measurements(self):
+        (row,) = ex.fig4_l1_reduction(SMALL)
+        base = measure(RunSpec(benchmark="fop", heap_mult=4.0,
+                               coalloc=False, monitoring=False))
+        assert row.baseline_misses == base.l1_misses
+        assert 0 <= abs(row.reduction) <= 1
+
+    def test_fig5_normalization(self):
+        (row,) = ex.fig5_exec_time(SMALL, heap_mults=(4.0,))
+        base = measure(RunSpec(benchmark="fop", heap_mult=4.0,
+                               coalloc=False, monitoring=False))
+        co = measure(RunSpec(benchmark="fop", heap_mult=4.0,
+                             coalloc=True, monitoring=True))
+        assert row.normalized[4.0] == pytest.approx(
+            co.cycles_mean / base.cycles_mean)
+
+
+class TestFig6Plumbing:
+    def test_three_configs_per_heap(self):
+        result = ex.fig6_gencopy_vs_genms("fop", heap_mults=(4.0,))
+        assert set(result.cycles[4.0]) == {"genms", "genms+coalloc",
+                                           "gencopy"}
+        assert result.normalized(4.0, "genms") == 1.0
+
+
+class TestTimelinePlumbing:
+    def test_fig7_series_lengths_agree(self):
+        result = ex.fig7_db_timeline("fop")
+        assert len(result.per_period) == len(result.cumulative)
+        assert len(result.moving_average) == len(result.per_period)
+
+    def test_fig8_runs_on_small_benchmark(self):
+        # fop has little churn: the experiment machinery must still
+        # produce a well-formed result (reverted or not).
+        result = ex.fig8_revert("fop", intervene_fraction=0.3)
+        assert result.gap_applied_period >= 0
+        assert len(result.moving_average) == len(result.per_period)

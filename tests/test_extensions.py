@@ -1,0 +1,112 @@
+"""Tests for the implemented extensions the paper suggests.
+
+* Monitoring duty cycle (section 6.3: "the overhead could be reduced by
+  turning off monitoring for most of the time" when a program yields no
+  candidates).
+* Alternative sampled events (L2/DTLB misses) driving the same pipeline.
+"""
+
+from repro.core.config import (
+    GCConfig,
+    MonitorConfig,
+    PerfmonConfig,
+    SystemConfig,
+)
+from repro.core.controller import OnlineOptimizationController
+from repro.jit.codecache import CodeCache
+from repro.vm.vmcore import run_program
+from repro.workloads import suite
+
+
+def make_controller(duty=True, idle=2, off=3):
+    switches = []
+    controller = OnlineOptimizationController(
+        CodeCache(),
+        MonitorConfig(duty_cycle=duty, duty_idle_periods=idle,
+                      duty_off_periods=off),
+        PerfmonConfig(), charge=lambda c: None,
+        sampling_switch=switches.append)
+    return controller, switches
+
+
+class TestDutyCycleUnit:
+    def test_pauses_after_idle_periods(self):
+        controller, switches = make_controller(idle=2)
+        controller.on_period(1)
+        assert not controller.sampling_paused
+        controller.on_period(2)
+        assert controller.sampling_paused
+        assert switches == [False]
+
+    def test_attributed_samples_reset_idle_count(self):
+        controller, switches = make_controller(idle=2)
+        controller.on_period(1)
+        # Simulate an attributed sample arriving.
+        controller._attributed_this_period = 1
+        controller.on_period(2)
+        controller.on_period(3)
+        assert not controller.sampling_paused  # idle run was broken
+
+    def test_rearms_after_off_periods(self):
+        controller, switches = make_controller(idle=1, off=2)
+        controller.on_period(1)      # pause
+        assert controller.sampling_paused
+        controller.on_period(2)
+        controller.on_period(3)      # off window elapsed: re-arm
+        assert not controller.sampling_paused
+        assert switches == [False, True]
+
+    def test_disabled_by_default(self):
+        controller, switches = make_controller(duty=False)
+        for t in range(10):
+            controller.on_period(t)
+        assert not controller.sampling_paused
+        assert switches == []
+
+    def test_pause_counter_in_summary(self):
+        controller, _ = make_controller(idle=1, off=1)
+        controller.on_period(1)
+        assert controller.summary()["duty_pauses"] == 1
+
+
+class TestDutyCycleEndToEnd:
+    def run_compress(self, duty):
+        w = suite.build("compress")
+        cfg = SystemConfig(gc=GCConfig(heap_bytes=w.min_heap_bytes * 4),
+                           coalloc=False,
+                           monitor=MonitorConfig(duty_cycle=duty))
+        return run_program(w.program, cfg, compilation_plan=w.plan)
+
+    def test_candidate_free_program_overhead_reduced(self):
+        on = self.run_compress(True)
+        off = self.run_compress(False)
+        assert on.monitor_summary["duty_pauses"] >= 1
+        assert on.monitoring_cycles < 0.6 * off.monitoring_cycles
+        assert on.cycles <= off.cycles
+
+    def test_fruitful_program_keeps_sampling(self):
+        w = suite.build("fop")
+        cfg = SystemConfig(gc=GCConfig(heap_bytes=w.min_heap_bytes * 4),
+                           coalloc=True,
+                           monitor=MonitorConfig(duty_cycle=True,
+                                                 duty_idle_periods=6))
+        result = run_program(w.program, cfg, compilation_plan=w.plan)
+        # The run still attributes samples and can co-allocate.
+        assert result.monitor_summary["attributed"] > 0
+
+
+class TestAlternativeEvents:
+    def run_db(self, event):
+        w = suite.build("db")
+        cfg = SystemConfig(gc=GCConfig(heap_bytes=w.min_heap_bytes * 2),
+                           coalloc=True, sampled_event=event)
+        return run_program(w.program, cfg, compilation_plan=w.plan)
+
+    def test_l2_miss_driven_coalloc_works(self):
+        result = self.run_db("L2_MISS")
+        assert result.monitor_summary["attributed"] > 0
+        assert result.gc_stats.coallocated_objects > 0
+
+    def test_dtlb_miss_driven_coalloc_works(self):
+        result = self.run_db("DTLB_MISS")
+        assert result.monitor_summary["attributed"] > 0

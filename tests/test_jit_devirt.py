@@ -1,0 +1,154 @@
+"""Tests for class-hierarchy analysis and devirtualization."""
+
+import pytest
+
+from tests.helpers import BASELINE_ONLY
+from repro.core.config import GCConfig, JITConfig, SystemConfig
+from repro.hw.isa import GuestError, M_CALL, M_CALLV, M_NULLCHK
+from repro.jit.aos import CompilationPlan
+from repro.jit.devirt import devirtualize
+from repro.jit.hir import build_hir
+from repro.jit.opt import compile_opt
+from repro.vm.program import Program
+from repro.vm.vmcore import run_program
+from repro.workloads.synth import Fn
+
+
+def hierarchy(with_override=True):
+    p = Program("t")
+    app = p.define_class("App")
+    app.add_static("out", "int")
+    app.seal()
+    base = p.define_class("Base")
+    base.seal()
+    m = Fn(p, base, "cost", args=["ref"], returns="int", static=False)
+    m.iconst(1).iret()
+    m.finish()
+    sub = p.define_class("Sub", base)
+    sub.seal()
+    if with_override:
+        o = Fn(p, sub, "cost", args=["ref"], returns="int", static=False)
+        o.iconst(2).iret()
+        o.finish()
+    caller = Fn(p, app, "call", args=["ref"], returns="int")
+    caller.rload(0).callv(base, "cost").iret()
+    return p, app, base, sub, caller.finish()
+
+
+class TestCHA:
+    def test_subclass_registry(self):
+        p, app, base, sub, caller = hierarchy()
+        assert sub in base.subclasses
+        assert sub in base.all_subclasses()
+
+    def test_monomorphic_without_override(self):
+        p, app, base, sub, caller = hierarchy(with_override=False)
+        target = base.monomorphic_target(base.vtable_slot("cost"))
+        assert target is base.methods["cost"]
+
+    def test_polymorphic_with_override(self):
+        p, app, base, sub, caller = hierarchy(with_override=True)
+        assert base.monomorphic_target(base.vtable_slot("cost")) is None
+
+    def test_deep_hierarchy(self):
+        p = Program("t")
+        a = p.define_class("A")
+        a.seal()
+        m = Fn(p, a, "f", args=["ref"], returns="int", static=False)
+        m.iconst(1).iret()
+        m.finish()
+        b = p.define_class("B", a)
+        b.seal()
+        c = p.define_class("C", b)
+        c.seal()
+        o = Fn(p, c, "f", args=["ref"], returns="int", static=False)
+        o.iconst(3).iret()
+        o.finish()
+        # The override two levels down kills monomorphism at the root.
+        assert a.monomorphic_target(a.vtable_slot("f")) is None
+        # ...but C itself is monomorphic.
+        assert c.monomorphic_target(c.vtable_slot("f")) is c.methods["f"]
+
+
+class TestDevirtPass:
+    def test_monomorphic_site_converted(self):
+        p, app, base, sub, caller = hierarchy(with_override=False)
+        func = build_hir(caller)
+        assert devirtualize(func) == 1
+        ops = [i.op for i in func.all_insts()]
+        assert "callv" not in ops
+        assert "call" in ops
+        assert "nullcheck" in ops
+
+    def test_polymorphic_site_untouched(self):
+        p, app, base, sub, caller = hierarchy(with_override=True)
+        func = build_hir(caller)
+        assert devirtualize(func) == 0
+        assert "callv" in [i.op for i in func.all_insts()]
+
+    def test_machine_code_has_nullcheck_and_direct_call(self):
+        p, app, base, sub, caller = hierarchy(with_override=False)
+        cm = compile_opt(caller, devirt=True)
+        ops = [inst.op for inst in cm.code]
+        assert M_CALLV not in ops
+        assert M_CALL in ops
+        assert M_NULLCHK in ops
+        assert ops.index(M_NULLCHK) < ops.index(M_CALL)
+
+
+class TestDevirtSemantics:
+    def run(self, with_override, devirt, receiver_class_name="Sub"):
+        p, app, base, sub, caller = hierarchy(with_override)
+        fn = Fn(p, app, "main")
+        obj = fn.local()
+        fn.new(p.klass(receiver_class_name)).rstore(obj)
+        fn.rload(obj).call(caller).putstatic(app, "out")
+        fn.ret()
+        p.set_main(fn.finish())
+        cfg = SystemConfig(monitoring=False,
+                           jit=JITConfig(devirtualize=devirt))
+        run_program(p, cfg,
+                    compilation_plan=CompilationPlan(["App.call"]))
+        return app.static_values[0]
+
+    def test_devirt_preserves_results(self):
+        assert self.run(False, True) == self.run(False, False) == 1
+
+    def test_override_still_dispatches(self):
+        assert self.run(True, True) == 2  # polymorphic: not devirtualized
+
+    def test_null_receiver_still_faults(self):
+        p, app, base, sub, caller = hierarchy(with_override=False)
+        fn = Fn(p, app, "main")
+        fn.emit("aconst_null").call(caller).putstatic(app, "out")
+        fn.ret()
+        p.set_main(fn.finish())
+        cfg = SystemConfig(monitoring=False,
+                           jit=JITConfig(devirtualize=True))
+        with pytest.raises(GuestError, match="null receiver"):
+            run_program(p, cfg,
+                        compilation_plan=CompilationPlan(["App.call"]))
+
+    def test_devirt_removes_header_access(self):
+        """The vtable load disappears: fewer data accesses per call."""
+        def run(devirt):
+            p, app, base, sub, caller = hierarchy(with_override=False)
+            fn = Fn(p, app, "main")
+            obj = fn.local()
+            acc = fn.local()
+            fn.new(base).rstore(obj)
+            fn.iconst(0).istore(acc)
+            with fn.loop(400):
+                fn.rload(obj).call(caller)
+                fn.iload(acc).emit("iadd").istore(acc)
+            fn.ret()
+            p.set_main(fn.finish())
+            cfg = SystemConfig(monitoring=False,
+                               jit=JITConfig(devirtualize=devirt))
+            return run_program(p, cfg, compilation_plan=CompilationPlan(
+                ["App.call", "App.main"]))
+
+        with_devirt = run(True)
+        without = run(False)
+        assert with_devirt.counters["L1D_ACCESS"] < without.counters["L1D_ACCESS"]
+        assert with_devirt.cycles < without.cycles

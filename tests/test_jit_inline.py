@@ -1,0 +1,212 @@
+"""Tests for opt-compiler method inlining (repro.jit.inline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import BASELINE_ONLY
+from repro.core.config import GCConfig, JITConfig, SystemConfig
+from repro.core.interest import analyze_function
+from repro.jit.aos import CompilationPlan
+from repro.jit.hir import build_hir
+from repro.jit.inline import can_inline, inline_bytecode, inlined_view
+from repro.jit.opt import compile_opt
+from repro.vm.bytecode import analyze
+from repro.vm.program import Program
+from repro.vm.vmcore import run_program
+from repro.workloads.synth import Fn
+
+
+def getter_program():
+    """p.getY().i — the access path only visible after inlining."""
+    p = Program("t")
+    app = p.define_class("App")
+    app.add_static("out", "int")
+    app.seal()
+    a = p.define_class("A")
+    a.add_field("y", "ref")
+    a.add_field("i", "int")
+    a.seal()
+    getter = Fn(p, app, "getY", args=["ref"], returns="ref")
+    getter.rload(0).getfield(a, "y").rret()
+    get_y = getter.finish()
+    fn = Fn(p, app, "chase", args=["ref"], returns="int")
+    fn.rload(0).call(get_y).getfield(a, "i").iret()
+    return p, app, a, get_y, fn.finish()
+
+
+class TestEligibility:
+    def test_small_static_leaf_inlinable(self):
+        p, app, a, get_y, chase = getter_program()
+        assert can_inline(chase, get_y)
+
+    def test_self_call_not_inlinable(self):
+        p, app, a, get_y, chase = getter_program()
+        assert not can_inline(get_y, get_y)
+
+    def test_large_callee_rejected(self):
+        p, app, a, get_y, chase = getter_program()
+        assert not can_inline(chase, get_y, max_callee_bytecodes=1)
+
+    def test_callee_with_calls_rejected(self):
+        p, app, a, get_y, chase = getter_program()
+        wrapper = Fn(p, app, "wrap", args=["ref"], returns="ref")
+        wrapper.rload(0).call(get_y).rret()
+        wrap = wrapper.finish()
+        assert not can_inline(chase, wrap)
+
+
+class TestSplicing:
+    def test_call_site_removed(self):
+        p, app, a, get_y, chase = getter_program()
+        code, locals_, count = inline_bytecode(chase)
+        assert count == 1
+        assert not any(i.op == "invokestatic" for i in code)
+
+    def test_inlined_code_verifies(self):
+        p, app, a, get_y, chase = getter_program()
+        shadow = inlined_view(chase)
+        assert shadow is not None
+        analyze(shadow)  # must not raise
+
+    def test_locals_relocated(self):
+        p, app, a, get_y, chase = getter_program()
+        code, locals_, _ = inline_bytecode(chase)
+        assert locals_ == chase.max_locals + get_y.max_locals
+        # The callee's rload 0 must have been shifted.
+        loads = [i.a for i in code if i.op == "rload"]
+        assert chase.max_locals in loads
+
+    def test_no_candidates_returns_none(self):
+        p, app, a, get_y, chase = getter_program()
+        assert inlined_view(get_y) is None
+
+    def test_multi_return_callee(self):
+        p = Program("t")
+        app = p.define_class("App")
+        app.add_static("out", "int")
+        app.seal()
+        absfn = Fn(p, app, "iabs", args=["int"], returns="int")
+        absfn.iload(0).iconst(0)
+        neg = absfn.fresh_label()
+        absfn.emit("if_icmp", "lt", neg)
+        absfn.iload(0).iret()
+        absfn.label(neg)
+        absfn.iload(0).emit("ineg").iret()
+        iabs = absfn.finish()
+        fn = Fn(p, app, "main")
+        fn.iconst(-5).call(iabs)
+        fn.iconst(3).call(iabs)
+        fn.emit("iadd").putstatic(app, "out")
+        fn.ret()
+        main = fn.finish()
+        p.set_main(main)
+        shadow = inlined_view(main)
+        assert shadow is not None
+        analyze(shadow)
+        # Execute the inlined version.
+        cfg = SystemConfig(monitoring=False)
+        run_program(p, cfg, compilation_plan=CompilationPlan(["App.main"]))
+        assert app.static_values[0] == 8
+
+
+class TestInterestThroughInlining:
+    def test_getter_exposes_interest_pair(self):
+        """Without inlining, chase's heap access has an opaque base (a
+        call result); with inlining, the (S, A::y) pair appears —
+        inlining widens what the monitoring can attribute."""
+        p, app, a, get_y, chase = getter_program()
+        plain = analyze_function(build_hir(chase))
+        assert plain == {}
+        cm = compile_opt(chase, inline=True)
+        inlined = analyze_function(cm.hir)
+        assert [f.qualified_name for f in inlined.values()] == ["A::y"]
+
+
+class TestSemanticEquivalence:
+    def run_chase(self, inline):
+        p, app, a, get_y, chase = getter_program()
+        fn = Fn(p, app, "main")
+        box1 = fn.local()
+        box2 = fn.local()
+        fn.new(a).rstore(box1)
+        fn.new(a).rstore(box2)
+        fn.rload(box1).rload(box2).putfield(a, "y")
+        fn.rload(box2).iconst(77).putfield(a, "i")
+        fn.rload(box1).call(chase).putstatic(app, "out")
+        fn.ret()
+        p.set_main(fn.finish())
+        cfg = SystemConfig(monitoring=False,
+                           jit=JITConfig(inline=inline))
+        run_program(p, cfg, compilation_plan=CompilationPlan(
+            ["App.chase", "App.getY", "App.main"]))
+        return app.static_values[0]
+
+    def test_inline_on_off_agree(self):
+        assert self.run_chase(True) == self.run_chase(False) == 77
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=6),
+           st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_helpers_inline_correctly(self, constants, loop_n):
+        """Random caller invoking small helpers in a loop: inlined and
+        non-inlined compilation must agree."""
+        def build_and_run(inline):
+            p = Program("t")
+            app = p.define_class("App")
+            app.add_static("out", "int")
+            app.seal()
+            helper = Fn(p, app, "mix", args=["int", "int"], returns="int")
+            helper.iload(0).iload(1).emit("ixor")
+            helper.iload(1).emit("iadd").iret()
+            mix = helper.finish()
+            fn = Fn(p, app, "work", args=["int"], returns="int")
+            acc = fn.local()
+            fn.iload(0).istore(acc)
+            with fn.loop(loop_n):
+                for c in constants:
+                    fn.iload(acc).iconst(c).call(mix).istore(acc)
+            fn.iload(acc).iret()
+            work = fn.finish()
+            main = Fn(p, app, "main")
+            main.iconst(9).call(work).putstatic(app, "out")
+            main.ret()
+            p.set_main(main.finish())
+            cfg = SystemConfig(monitoring=False,
+                               jit=JITConfig(inline=inline))
+            run_program(p, cfg,
+                        compilation_plan=CompilationPlan(["App.work"]))
+            return app.static_values[0]
+
+        assert build_and_run(True) == build_and_run(False)
+
+    def test_inlined_code_is_faster(self):
+        """Inlining removes call overhead: fewer cycles on a call-dense
+        loop."""
+        def run(inline):
+            p = Program("t")
+            app = p.define_class("App")
+            app.add_static("out", "int")
+            app.seal()
+            helper = Fn(p, app, "inc", args=["int"], returns="int")
+            helper.iload(0).iconst(1).emit("iadd").iret()
+            inc = helper.finish()
+            fn = Fn(p, app, "work", args=["int"], returns="int")
+            acc = fn.local()
+            fn.iload(0).istore(acc)
+            with fn.loop(300):
+                fn.iload(acc).call(inc).istore(acc)
+            fn.iload(acc).iret()
+            work = fn.finish()
+            main = Fn(p, app, "main")
+            main.iconst(0).call(work).putstatic(app, "out")
+            main.ret()
+            p.set_main(main.finish())
+            cfg = SystemConfig(monitoring=False,
+                               jit=JITConfig(inline=inline))
+            return run_program(p, cfg,
+                               compilation_plan=CompilationPlan(["App.work"]))
+
+        fast = run(True)
+        slow = run(False)
+        assert fast.cycles < slow.cycles

@@ -1,0 +1,89 @@
+"""Coverage for smaller APIs: GC stats, monitor class series, workload
+metadata used by the oracle ablation, and the ablation helpers."""
+
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import OnlineMonitor
+from repro.gc.stats import GCStats
+from repro.harness import ablations as ab
+from repro.vm.model import ClassInfo
+from repro.workloads import suite
+
+
+class TestGCStats:
+    def test_note_coalloc_accounting(self):
+        stats = GCStats()
+        stats.note_coalloc("String")
+        stats.note_coalloc("String")
+        stats.note_coalloc("Row")
+        assert stats.coalloc_pairs == 3
+        assert stats.coallocated_objects == 6
+        assert stats.coalloc_by_class == {"String": 2, "Row": 1}
+
+    def test_summary_mentions_key_numbers(self):
+        stats = GCStats(minor_gcs=3, full_gcs=1)
+        stats.note_coalloc("A")
+        text = stats.summary()
+        assert "3 minor" in text and "1 full" in text
+        assert "2 objs" in text
+
+
+class TestMonitorClassSeries:
+    def test_class_series_sums_fields(self):
+        k = ClassInfo("A")
+        f1 = k.add_field("x", "ref")
+        f2 = k.add_field("y", "ref")
+        k.seal()
+        other = ClassInfo("B")
+        f3 = other.add_field("z", "ref")
+        other.seal()
+        mon = OnlineMonitor(MonitorConfig())
+        mon.record(f1, 5)
+        mon.record(f2, 7)
+        mon.record(f3, 100)  # different class: excluded
+        mon.close_period(10)
+        assert mon.class_series(k) == [(10, 12)]
+        assert mon.class_series(other) == [(10, 100)]
+
+
+class TestWorkloadMetadata:
+    @pytest.mark.parametrize("name", ["db", "jess", "pseudojbb", "bloat"])
+    def test_hot_fields_resolve(self, name):
+        """The declared hot fields (used by the static-oracle ablation)
+        must name real reference fields."""
+        workload = suite.build(name)
+        for qualified in workload.hot_fields:
+            class_name, field_name = qualified.split("::")
+            klass = workload.program.klass(class_name)
+            field = klass.field(field_name)
+            assert field.is_ref
+
+    def test_min_heaps_fit_plans(self):
+        """Every benchmark must complete at its declared minimum heap
+        under both collectors (spot-check the two smallest)."""
+        from repro.core.config import GCConfig, SystemConfig
+        from repro.vm.vmcore import run_program
+
+        for name in ("fop", "antlr"):
+            for plan_name in ("genms", "gencopy"):
+                w = suite.build(name)
+                cfg = SystemConfig(monitoring=False, gc_plan=plan_name,
+                                   gc=GCConfig(heap_bytes=w.min_heap_bytes))
+                result = run_program(w.program, cfg,
+                                     compilation_plan=w.plan)
+                assert result.cycles > 0
+
+
+class TestAblationHelpers:
+    def test_prefetcher_ablation_structure(self):
+        result = ab.prefetcher_ablation("fop")
+        assert result.cycles_with > 0
+        assert result.cycles_without >= result.cycles_with * 0.99
+        assert isinstance(result.slowdown_without, float)
+
+    def test_oracle_ablation_on_small_benchmark(self):
+        result = ab.static_oracle_ablation("fop", heap_mult=4.0)
+        assert result.baseline_cycles > 0
+        # The oracle co-allocates at least as much as online guidance.
+        assert result.oracle_coalloc >= result.online_coalloc

@@ -1,0 +1,214 @@
+"""Tests for the bytecode assembler and the stack/locals analysis."""
+
+import pytest
+
+from repro.vm.bytecode import (
+    Asm,
+    BytecodeError,
+    T_CONFLICT,
+    T_INT,
+    T_REF,
+    analyze,
+    branch_target,
+)
+from repro.vm.program import Program
+
+
+def make_method(code, args=None, returns="void", max_locals=None, name="m"):
+    p = Program("t")
+    k = p.define_class("K")
+    k.seal()
+    return p.define_method(k, name, args=args or [], returns=returns,
+                           max_locals=max_locals, code=code)
+
+
+class TestAsm:
+    def test_label_resolution_backward(self):
+        asm = Asm()
+        asm.label("top")
+        asm.emit("iconst", 1)
+        asm.emit("pop")
+        asm.emit("goto", "top")
+        code = asm.finish()
+        assert code[2].a == 0
+
+    def test_label_resolution_forward(self):
+        asm = Asm()
+        asm.emit("iconst", 0)
+        asm.emit("ifz", "eq", "done")
+        asm.label("done")
+        asm.emit("return")
+        code = asm.finish()
+        assert branch_target(code[1]) == 2
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(BytecodeError):
+            Asm().emit("frobnicate")
+
+    def test_undefined_label_rejected(self):
+        asm = Asm()
+        asm.emit("goto", "nowhere")
+        with pytest.raises(BytecodeError):
+            asm.finish()
+
+    def test_duplicate_label_rejected(self):
+        asm = Asm()
+        asm.label("x")
+        with pytest.raises(BytecodeError):
+            asm.label("x")
+
+
+class TestAnalyze:
+    def test_simple_arithmetic(self):
+        asm = Asm()
+        asm.emit("iconst", 1)
+        asm.emit("iconst", 2)
+        asm.emit("iadd")
+        asm.emit("ireturn")
+        m = make_method(asm, returns="int")
+        a = analyze(m)
+        assert a.max_stack == 2
+        assert a.state_at(2).stack == (T_INT, T_INT)
+        assert a.state_at(3).stack == (T_INT,)
+
+    def test_argument_types_seed_locals(self):
+        asm = Asm()
+        asm.emit("return")
+        m = make_method(asm, args=["ref", "int"])
+        a = analyze(m)
+        assert a.state_at(0).locals == (T_REF, T_INT)
+
+    def test_store_changes_local_type(self):
+        asm = Asm()
+        asm.emit("aconst_null")
+        asm.emit("rstore", 0)
+        asm.emit("return")
+        m = make_method(asm, max_locals=1)
+        a = analyze(m)
+        assert a.state_at(0).locals == (T_INT,)
+        assert a.state_at(2).locals == (T_REF,)
+
+    def test_merge_conflicting_local_types(self):
+        # One path stores an int, the other a ref, into local 1.
+        asm = Asm()
+        asm.emit("iload", 0)
+        asm.emit("ifz", "eq", "else")
+        asm.emit("iconst", 5)
+        asm.emit("istore", 1)
+        asm.emit("goto", "join")
+        asm.label("else")
+        asm.emit("aconst_null")
+        asm.emit("rstore", 1)
+        asm.label("join")
+        asm.emit("return")
+        m = make_method(asm, args=["int"], max_locals=2)
+        a = analyze(m)
+        join_pc = len(m.code) - 1
+        assert a.state_at(join_pc).locals[1] == T_CONFLICT
+
+    def test_stack_depth_mismatch_rejected(self):
+        asm = Asm()
+        asm.emit("iload", 0)
+        asm.emit("ifz", "eq", "push2")
+        asm.emit("iconst", 1)
+        asm.emit("goto", "join")
+        asm.label("push2")
+        asm.emit("iconst", 1)
+        asm.emit("iconst", 2)
+        asm.label("join")
+        asm.emit("pop")
+        asm.emit("return")
+        with pytest.raises(BytecodeError):
+            make_method(asm, args=["int"])
+
+    def test_stack_underflow_rejected(self):
+        asm = Asm()
+        asm.emit("pop")
+        asm.emit("return")
+        with pytest.raises(BytecodeError):
+            make_method(asm)
+
+    def test_fall_off_end_rejected(self):
+        asm = Asm()
+        asm.emit("iconst", 1)
+        asm.emit("pop")
+        with pytest.raises(BytecodeError):
+            make_method(asm)
+
+    def test_getfield_types(self):
+        p = Program("t")
+        k = p.define_class("A")
+        fr = k.add_field("child", "ref")
+        fi = k.add_field("n", "int")
+        k.seal()
+        asm = Asm()
+        asm.emit("rload", 0)
+        asm.emit("getfield", fr)
+        asm.emit("pop")
+        asm.emit("rload", 0)
+        asm.emit("getfield", fi)
+        asm.emit("ireturn")
+        m = p.define_method(k, "m", args=["ref"], returns="int", code=asm)
+        a = analyze(m)
+        assert a.state_at(2).stack == (T_REF,)
+        assert a.state_at(5).stack == (T_INT,)
+
+    def test_invoke_pops_args_pushes_result(self):
+        p = Program("t")
+        k = p.define_class("A")
+        k.seal()
+        callee_asm = Asm()
+        callee_asm.emit("iconst", 7)
+        callee_asm.emit("ireturn")
+        callee = p.define_method(k, "seven", args=["int", "int"],
+                                 returns="int", code=callee_asm)
+        asm = Asm()
+        asm.emit("iconst", 1)
+        asm.emit("iconst", 2)
+        asm.emit("invokestatic", callee)
+        asm.emit("ireturn")
+        m = p.define_method(k, "m", args=[], returns="int", code=asm)
+        a = analyze(m)
+        assert a.state_at(3).stack == (T_INT,)
+
+    def test_loop_analysis_terminates(self):
+        asm = Asm()
+        asm.emit("iconst", 10)
+        asm.emit("istore", 0)
+        asm.label("loop")
+        asm.emit("iload", 0)
+        asm.emit("ifz", "le", "done")
+        asm.emit("iload", 0)
+        asm.emit("iconst", 1)
+        asm.emit("isub")
+        asm.emit("istore", 0)
+        asm.emit("goto", "loop")
+        asm.label("done")
+        asm.emit("return")
+        m = make_method(asm, max_locals=1)
+        a = analyze(m)
+        assert a.max_stack == 2
+
+    def test_virtual_method_needs_receiver(self):
+        p = Program("t")
+        k = p.define_class("A")
+        k.seal()
+        asm = Asm()
+        asm.emit("return")
+        with pytest.raises(BytecodeError):
+            p.define_method(k, "m", args=["int"], static=False, code=asm)
+
+    def test_arrload_kind_determines_type(self):
+        asm = Asm()
+        asm.emit("rload", 0)
+        asm.emit("iconst", 0)
+        asm.emit("arrload", "ref")
+        asm.emit("pop")
+        asm.emit("rload", 0)
+        asm.emit("iconst", 0)
+        asm.emit("arrload", "int")
+        asm.emit("ireturn")
+        m = make_method(asm, args=["ref"], returns="int")
+        a = analyze(m)
+        assert a.state_at(3).stack == (T_REF,)
+        assert a.state_at(7).stack == (T_INT,)
