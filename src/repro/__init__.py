@@ -33,6 +33,7 @@ from repro.core.config import (
     scaled_interval,
 )
 from repro.jit.aos import CompilationPlan
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.vm.program import Program
 from repro.vm.vmcore import VM, RunResult, run_program
 
@@ -44,11 +45,13 @@ __all__ = [
     "JITConfig",
     "MachineConfig",
     "MonitorConfig",
+    "NULL_TELEMETRY",
     "PEBSConfig",
     "PerfmonConfig",
     "Program",
     "RunResult",
     "SystemConfig",
+    "Telemetry",
     "VM",
     "run_program",
     "scaled_interval",

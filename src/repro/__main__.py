@@ -4,13 +4,15 @@ Commands
 --------
 list                      the Table 1 benchmarks
 run BENCH [options]       run one benchmark, print the result summary
+timeline BENCH [options]  run one benchmark, print a text trace timeline
 table1 | table2           regenerate a table
 fig2 .. fig8              regenerate a figure
 ablations                 run the ablation experiments
 
 Examples::
 
-    python -m repro run db --heap-mult 4 --coalloc
+    python -m repro run db --heap-mult 4 --coalloc --trace out.json
+    python -m repro timeline db --coalloc
     python -m repro fig4 --benchmarks db,pseudojbb,compress
     python -m repro fig6
 """
@@ -25,6 +27,17 @@ from repro.harness import experiments as ex
 from repro.harness import report
 from repro.harness.runner import RunSpec, execute
 from repro.workloads import suite
+
+
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
 
 
 def _benchmark_list(value: Optional[str]) -> Optional[List[str]]:
@@ -43,8 +56,8 @@ def cmd_list(args) -> None:
         print(f"{row.name:10s} {row.description}")
 
 
-def cmd_run(args) -> None:
-    spec = RunSpec(
+def _run_spec(args) -> RunSpec:
+    return RunSpec(
         benchmark=args.benchmark,
         heap_mult=args.heap_mult,
         coalloc=args.coalloc,
@@ -54,7 +67,15 @@ def cmd_run(args) -> None:
         event=args.event,
         seed=args.seed,
     )
-    result = execute(spec)
+
+
+def cmd_run(args) -> None:
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+    spec = _run_spec(args)
+    telemetry = Telemetry() if (args.trace or args.metrics) else None
+    result = execute(spec, telemetry=telemetry)
     print(f"benchmark            : {result.program}")
     print(f"cycles               : {result.cycles:,}")
     print(f"instructions         : {result.instructions:,}")
@@ -67,6 +88,35 @@ def cmd_run(args) -> None:
           f"{result.gc_cycles:,} / {result.monitoring_cycles:,}")
     if result.monitor_summary:
         print(f"monitoring           : {result.monitor_summary}")
+    else:
+        print("monitoring           : disabled")
+    if telemetry is not None and args.trace:
+        metadata = {"benchmark": spec.benchmark, "seed": spec.seed,
+                    "gc_plan": spec.gc_plan, "coalloc": spec.coalloc}
+        try:
+            if args.trace.endswith(".jsonl"):
+                write_jsonl(args.trace, telemetry.tracer, telemetry.metrics)
+            else:
+                write_chrome_trace(args.trace, telemetry.tracer,
+                                   telemetry.metrics, metadata)
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace to {args.trace!r}: {exc}")
+        print(f"trace                : {args.trace} "
+              f"({len(telemetry.tracer.spans)} spans; open in Perfetto)")
+    if telemetry is not None and args.metrics:
+        print("metrics:")
+        for line in telemetry.metrics.render().splitlines():
+            print(f"  {line}")
+
+
+def cmd_timeline(args) -> None:
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import format_timeline
+
+    telemetry = Telemetry()
+    result = execute(_run_spec(args), telemetry=telemetry)
+    print(format_timeline(telemetry.tracer, total_cycles=result.cycles,
+                          width=args.width))
 
 
 def cmd_table1(args) -> None:
@@ -150,25 +200,41 @@ def main(argv: Optional[List[str]] = None) -> None:
         prog="python -m repro",
         description=("Reproduction of 'Online Optimizations Driven by "
                      "Hardware Performance Monitoring' (PLDI 2007)"))
+    parser.add_argument("--version", action="version",
+                        version=f"repro {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the benchmark programs")
 
-    run_p = sub.add_parser("run", help="run one benchmark")
-    run_p.add_argument("benchmark", choices=suite.all_names())
-    run_p.add_argument("--heap-mult", type=float, default=4.0,
+    def add_run_options(p) -> None:
+        p.add_argument("benchmark", choices=suite.all_names())
+        p.add_argument("--heap-mult", type=float, default=4.0,
                        help="heap as a multiple of the minimum (default 4)")
-    run_p.add_argument("--coalloc", action="store_true",
+        p.add_argument("--coalloc", action="store_true",
                        help="enable HPM-guided co-allocation")
-    run_p.add_argument("--no-monitoring", action="store_true",
+        p.add_argument("--no-monitoring", action="store_true",
                        help="disable event sampling")
-    run_p.add_argument("--interval", default="auto",
+        p.add_argument("--interval", default="auto",
                        choices=["25K", "50K", "100K", "auto"])
-    run_p.add_argument("--gc-plan", default="genms",
+        p.add_argument("--gc-plan", default="genms",
                        choices=["genms", "gencopy"])
-    run_p.add_argument("--event", default="L1D_MISS",
+        p.add_argument("--event", default="L1D_MISS",
                        choices=["L1D_MISS", "L2_MISS", "DTLB_MISS"])
-    run_p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--seed", type=int, default=1)
+
+    run_p = sub.add_parser("run", help="run one benchmark")
+    add_run_options(run_p)
+    run_p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write the telemetry trace (Chrome trace-event "
+                            "JSON; '.jsonl' suffix selects JSONL)")
+    run_p.add_argument("--metrics", action="store_true",
+                       help="print the metrics registry after the run")
+
+    tl_p = sub.add_parser("timeline",
+                          help="run one benchmark, print a text timeline")
+    add_run_options(tl_p)
+    tl_p.add_argument("--width", type=int, default=72,
+                      help="timeline width in columns (default 72)")
 
     for name in ("table2", "fig2", "fig3", "fig4", "fig5"):
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
@@ -189,7 +255,7 @@ def main(argv: Optional[List[str]] = None) -> None:
         args.benchmark_names = _benchmark_list(args.benchmarks)
 
     handlers = {
-        "list": cmd_list, "run": cmd_run,
+        "list": cmd_list, "run": cmd_run, "timeline": cmd_timeline,
         "table1": cmd_table1, "table2": cmd_table2,
         "fig2": cmd_fig2, "fig3": cmd_fig3, "fig4": cmd_fig4,
         "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,

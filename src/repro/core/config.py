@@ -271,6 +271,11 @@ class SystemConfig:
     gc_plan: str = "genms"
     #: Seed for all randomized components.
     seed: int = 42
+    #: Optional :class:`repro.telemetry.Telemetry` instance.  ``None``
+    #: (the default) selects the shared null telemetry: no metrics, no
+    #: spans, and — by the telemetry invariant — bit-identical simulated
+    #: cycle counts to an instrumented-but-disabled run.
+    telemetry: "object | None" = None
 
     def copy(self, **overrides) -> "SystemConfig":
         """Return a shallow copy with ``overrides`` applied."""

@@ -21,6 +21,7 @@ from repro.core.feedback import FeedbackEngine
 from repro.core.mapping import SampleResolver
 from repro.core.monitor import OnlineMonitor
 from repro.jit.codecache import CodeCache, CompiledMethod
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.model import ClassInfo, FieldInfo
 
 #: Bounds for the adaptive sampling interval (events between samples).
@@ -41,12 +42,29 @@ class OnlineOptimizationController:
                  charge: Callable[[int], None],
                  set_sampling_interval: Optional[Callable[[int], None]] = None,
                  auto_interval: bool = False,
-                 sampling_switch: Optional[Callable[[bool], None]] = None):
+                 sampling_switch: Optional[Callable[[bool], None]] = None,
+                 telemetry=None):
         self.monitor_config = monitor_config
         self.resolver = SampleResolver(codecache)
         self.monitor = OnlineMonitor(monitor_config)
-        self.feedback = FeedbackEngine(self.monitor, monitor_config)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.feedback = FeedbackEngine(self.monitor, monitor_config,
+                                       telemetry=self.telemetry)
         self.perfmon_config = perfmon_config
+        self._trace = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        self._m_batches = metrics.counter(
+            "controller.batches", "sample batches processed")
+        self._m_samples = metrics.counter(
+            "controller.samples", "raw EIP samples received")
+        self._m_attributed = metrics.counter(
+            "controller.attributed_samples",
+            "samples attributed to a reference field")
+        self._m_interval = metrics.gauge(
+            "controller.sampling_interval",
+            "current hardware sampling interval (events between samples)")
+        self._m_duty_pauses = metrics.counter(
+            "controller.duty_pauses", "duty-cycle sampling pauses")
         self.charge = charge
         self._set_interval = set_sampling_interval
         self.auto_interval = auto_interval
@@ -85,6 +103,7 @@ class OnlineOptimizationController:
         if not eips:
             return 0
         self.batches_processed += 1
+        self._trace.begin("controller.batch", cat="controller")
         self.charge(self.perfmon_config.map_cost * len(eips))
         attributed = 0
         record = self.monitor.record
@@ -103,6 +122,10 @@ class OnlineOptimizationController:
                     attributed += 1
         self._samples_this_period += len(eips)
         self._attributed_this_period += attributed
+        self._m_batches.inc()
+        self._m_samples.inc(len(eips))
+        self._m_attributed.inc(attributed)
+        self._trace.end(samples=len(eips), attributed=attributed)
         return attributed
 
     # -- GC guidance --------------------------------------------------------------------
@@ -120,6 +143,10 @@ class OnlineOptimizationController:
 
     def on_period(self, now_cycle: int) -> None:
         """Close a measurement period; adapt the interval; judge experiments."""
+        self._trace.instant("controller.period_close", cat="controller",
+                            period=len(self.monitor.periods),
+                            samples=self._samples_this_period,
+                            attributed=self._attributed_this_period)
         self.monitor.close_period(now_cycle)
         self.feedback.on_period()
         if self.auto_interval and self._set_interval is not None \
@@ -147,6 +174,8 @@ class OnlineOptimizationController:
                 self._idle_periods = 0
                 if self._sampling_switch is not None:
                     self._sampling_switch(True)
+                self._trace.instant("controller.duty_resume",
+                                    cat="controller")
             return
         if self._attributed_this_period == 0:
             self._idle_periods += 1
@@ -155,9 +184,13 @@ class OnlineOptimizationController:
         if self._idle_periods >= cfg.duty_idle_periods:
             self.sampling_paused = True
             self.duty_pauses += 1
+            self._m_duty_pauses.inc()
             self._paused_periods_left = cfg.duty_off_periods
             if self._sampling_switch is not None:
                 self._sampling_switch(False)
+            self._trace.instant("controller.duty_pause", cat="controller",
+                                idle_periods=self._idle_periods,
+                                off_periods=cfg.duty_off_periods)
 
     def _adapt_interval(self) -> None:
         observed = self._samples_this_period
@@ -169,22 +202,46 @@ class OnlineOptimizationController:
             scaled = int(self.current_interval * observed / target)
             new = min(AUTO_MAX_INTERVAL, max(AUTO_MIN_INTERVAL, scaled))
         if new != self.current_interval:
+            self._trace.instant("controller.interval_adapted",
+                                cat="controller",
+                                old=self.current_interval, new=new,
+                                observed=observed)
             self.current_interval = new
             self._set_interval(new)
+            self._m_interval.set(new)
 
     # -- summaries ----------------------------------------------------------------------
 
-    def summary(self) -> dict:
+    def _summary_items(self) -> List[tuple]:
+        """The canonical end-of-run statistics, as (key, value) pairs.
+
+        Single source of truth: :meth:`summary` (the dict the harness
+        and CLI read) and :meth:`publish_metrics` (the
+        ``controller.summary.*`` gauges in the telemetry registry) are
+        both views of this list.
+        """
         stats = self.resolver.stats
-        return {
-            "attributed": stats.attributed,
-            "resolved": stats.resolved,
-            "dropped_foreign": stats.dropped_foreign,
-            "dropped_baseline": stats.dropped_baseline,
-            "unattributed": stats.unattributed,
-            "interest_pairs": self.resolver.interesting_pairs(),
-            "periods": len(self.monitor.periods),
-            "batches": self.batches_processed,
-            "final_interval": self.current_interval,
-            "duty_pauses": self.duty_pauses,
-        }
+        return [
+            ("attributed", stats.attributed),
+            ("resolved", stats.resolved),
+            ("dropped_foreign", stats.dropped_foreign),
+            ("dropped_baseline", stats.dropped_baseline),
+            ("unattributed", stats.unattributed),
+            ("interest_pairs", self.resolver.interesting_pairs()),
+            ("periods", len(self.monitor.periods)),
+            ("batches", self.batches_processed),
+            ("final_interval", self.current_interval),
+            ("duty_pauses", self.duty_pauses),
+        ]
+
+    def summary(self) -> dict:
+        return dict(self._summary_items())
+
+    def publish_metrics(self) -> None:
+        """Mirror the canonical summary into the metrics registry as
+        ``controller.summary.<key>`` gauges (no-op on a null registry)."""
+        metrics = self.telemetry.metrics
+        if not metrics.enabled:
+            return
+        for key, value in self._summary_items():
+            metrics.gauge(f"controller.summary.{key}").set(value)

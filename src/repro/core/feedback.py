@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 from repro.core.config import MonitorConfig
 from repro.core.monitor import OnlineMonitor
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.model import ClassInfo, FieldInfo
 
 
@@ -51,10 +52,18 @@ class Experiment:
 class FeedbackEngine:
     """Judges policy experiments against monitored miss rates."""
 
-    def __init__(self, monitor: OnlineMonitor, config: MonitorConfig):
+    def __init__(self, monitor: OnlineMonitor, config: MonitorConfig,
+                 telemetry=None):
         self.monitor = monitor
         self.config = config
         self.experiments: List[Experiment] = []
+        tele = telemetry or NULL_TELEMETRY
+        self._trace = tele.tracer
+        metrics = tele.metrics
+        self._m_started = metrics.counter(
+            "feedback.experiments_started", "policy experiments begun")
+        self._m_reverts = metrics.counter(
+            "feedback.reverts", "experiments reverted after regression")
 
     def begin_experiment(self, name: str, field: FieldInfo,
                          revert: Callable[[], None],
@@ -69,6 +78,10 @@ class FeedbackEngine:
                          baseline_rate=baseline,
                          started_period=len(self.monitor.periods))
         self.experiments.append(exp)
+        self._m_started.inc()
+        self._trace.instant("feedback.experiment_begin", cat="feedback",
+                            experiment=name, field=field.qualified_name,
+                            baseline_rate=baseline)
         return exp
 
     def on_period(self) -> None:
@@ -84,15 +97,24 @@ class FeedbackEngine:
             rate = self.monitor.recent_rate(exp.field)
             exp.observed.append(rate)
             threshold = exp.baseline_rate * (1.0 + cfg.revert_threshold)
-            if exp.baseline_rate > 0 and rate > threshold:
+            regressed = exp.baseline_rate > 0 and rate > threshold
+            if regressed:
                 exp.regressed_periods += 1
             else:
                 exp.regressed_periods = 0
+            self._trace.instant("feedback.verdict", cat="feedback",
+                                experiment=exp.name, rate=rate,
+                                regressed=regressed,
+                                streak=exp.regressed_periods)
             if exp.regressed_periods >= cfg.revert_patience:
                 exp.revert()
                 exp.active = False
                 exp.reverted = True
                 exp.reverted_period = current_period
+                self._m_reverts.inc()
+                self._trace.instant("feedback.revert", cat="feedback",
+                                    experiment=exp.name,
+                                    period=current_period)
 
     def active_experiments(self) -> List[Experiment]:
         return [e for e in self.experiments if e.active]

@@ -35,13 +35,24 @@ class CoallocationPolicy:
     def __init__(self, hot_field_provider: HotFieldProvider,
                  max_combined_bytes: int = 4096,
                  gap_bytes: int = 0,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 telemetry=None):
+        from repro.telemetry import NULL_TELEMETRY
+
         self.hot_field_provider = hot_field_provider
         self.max_combined_bytes = max_combined_bytes
         #: Empty space inserted between parent and child (0 normally;
         #: 128 in Figure 8's deliberately poor configuration).
         self.gap_bytes = gap_bytes
         self.enabled = enabled
+        metrics = (telemetry or NULL_TELEMETRY).metrics
+        self._m_considered = metrics.counter(
+            "gc.coalloc.considered", "promotions examined for co-allocation")
+        self._m_accepted = metrics.counter(
+            "gc.coalloc.accepted",
+            "co-allocations performed, labeled (class, field)")
+        self._m_rejected = metrics.counter(
+            "gc.coalloc.rejected", "co-allocation rejections, by reason")
         # Decision statistics.
         self.considered = 0
         self.no_hot_field = 0
@@ -64,19 +75,24 @@ class CoallocationPolicy:
         if klass is None:  # arrays have no per-class hot-field entry
             return None
         self.considered += 1
+        self._m_considered.inc()
         field = self.hot_field_provider(klass)
         if field is None:
             self.no_hot_field += 1
+            self._m_rejected.labels("no_hot_field").inc()
             return None
         child = obj.slots[field.index]
         if child is None or child.space != SPACE_NURSERY or child is obj:
             self.child_unavailable += 1
+            self._m_rejected.labels("child_unavailable").inc()
             return None
         combined = obj.size + self.gap_bytes + child.size
         if combined > self.max_combined_bytes:
             self.too_large += 1
+            self._m_rejected.labels("too_large").inc()
             return None
         self.accepted += 1
+        self._m_accepted.labels(klass.name, field.name).inc()
         return child, combined
 
     def set_gap(self, gap_bytes: int) -> None:

@@ -33,13 +33,13 @@ class GenCopyPlan(Plan):
     name = "gencopy"
 
     def __init__(self, config: GCConfig, hooks: Optional[GCHooks] = None,
-                 coalloc=None):
+                 coalloc=None, telemetry=None):
         if coalloc is not None:
             raise ValueError(
                 "co-allocation requires the free-list mature space (GenMS); "
                 "a copying mature space re-decides placement at every GC"
             )
-        super().__init__(config, hooks, None)
+        super().__init__(config, hooks, None, telemetry)
         self._spaces = (
             BumpAllocator(layout.MATURE_BASE, _SEMI_SPAN),
             BumpAllocator(layout.MATURE_BASE + _SEMI_SPAN, _SEMI_SPAN),
@@ -63,6 +63,8 @@ class GenCopyPlan(Plan):
         if self._collecting:
             return
         self._collecting = True
+        self._trace.begin("gc.minor", cat="gc")
+        promoted_before = self.stats.promoted_objects
         try:
             cfg = self.config
             # Guarantee the copy reserve: if the to-space cannot absorb a
@@ -72,6 +74,7 @@ class GenCopyPlan(Plan):
                 if self.tospace.remaining < self.nursery.used:
                     raise HeapExhausted("copy reserve exhausted")
             self.stats.minor_gcs += 1
+            self._m_minor.inc()
             self.hooks.charge(cfg.minor_fixed_cost)
             order = self._trace_live_nursery(self._minor_roots())
             self.hooks.charge(cfg.scan_object_cost * len(order))
@@ -89,6 +92,10 @@ class GenCopyPlan(Plan):
                 self._full_locked()
             self._resize_nursery()
         finally:
+            span = self._trace.end(
+                promoted=self.stats.promoted_objects - promoted_before)
+            if span is not None:
+                self._m_pause.observe(span.dur)
             self._collecting = False
 
     def _promote(self, obj) -> None:
@@ -110,6 +117,8 @@ class GenCopyPlan(Plan):
             self.mature_objects.append(obj)
         self.stats.promoted_objects += 1
         self.stats.promoted_bytes += size
+        self._m_promoted.inc()
+        self._m_promoted_bytes.inc(size)
         self.hooks.charge(int(cfg.copy_byte_cost * size))
 
     # -- full collection ------------------------------------------------------------------
@@ -126,6 +135,16 @@ class GenCopyPlan(Plan):
     def _full_locked(self) -> None:
         cfg = self.config
         self.stats.full_gcs += 1
+        self._m_full.inc()
+        self._trace.begin("gc.full", cat="gc")
+        try:
+            self._full_body(cfg)
+        finally:
+            span = self._trace.end()
+            if span is not None:
+                self._m_pause.observe(span.dur)
+
+    def _full_body(self, cfg) -> None:
         self.hooks.charge(cfg.full_fixed_cost)
         live = self._trace_all_live()
         self.hooks.charge(cfg.mark_object_cost * len(live))
@@ -178,12 +197,12 @@ class GenCopyPlan(Plan):
 
 
 def make_plan(name: str, config: GCConfig, hooks: Optional[GCHooks] = None,
-              coalloc=None) -> Plan:
+              coalloc=None, telemetry=None) -> Plan:
     """Plan factory used by the VM: ``genms`` or ``gencopy``."""
     from repro.gc.genms import GenMSPlan
 
     if name == "genms":
-        return GenMSPlan(config, hooks, coalloc)
+        return GenMSPlan(config, hooks, coalloc, telemetry)
     if name == "gencopy":
-        return GenCopyPlan(config, hooks, coalloc)
+        return GenCopyPlan(config, hooks, coalloc, telemetry)
     raise ValueError(f"unknown GC plan {name!r}")

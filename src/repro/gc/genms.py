@@ -27,8 +27,9 @@ class GenMSPlan(Plan):
     name = "genms"
 
     def __init__(self, config: GCConfig, hooks: Optional[GCHooks] = None,
-                 coalloc: Optional[CoallocationPolicy] = None):
-        super().__init__(config, hooks, coalloc)
+                 coalloc: Optional[CoallocationPolicy] = None,
+                 telemetry=None):
+        super().__init__(config, hooks, coalloc, telemetry)
         # The region is the whole mature address range; the *budget* is
         # enforced against bytes in use, not address space.
         self.freelist = FreeListSpace(
@@ -47,9 +48,12 @@ class GenMSPlan(Plan):
         if self._collecting:
             return
         self._collecting = True
+        self._trace.begin("gc.minor", cat="gc")
+        promoted_before = self.stats.promoted_objects
         try:
             cfg = self.config
             self.stats.minor_gcs += 1
+            self._m_minor.inc()
             self.hooks.charge(cfg.minor_fixed_cost)
             order = self._trace_live_nursery(self._minor_roots())
             self.hooks.charge(cfg.scan_object_cost * len(order))
@@ -67,6 +71,10 @@ class GenMSPlan(Plan):
                 self._full_locked()
             self._resize_nursery()
         finally:
+            span = self._trace.end(
+                promoted=self.stats.promoted_objects - promoted_before)
+            if span is not None:
+                self._m_pause.observe(span.dur)
             self._collecting = False
 
     def _promote(self, obj) -> None:
@@ -95,6 +103,8 @@ class GenMSPlan(Plan):
             stats.note_coalloc(obj.class_info.name)
             stats.promoted_objects += 2
             stats.promoted_bytes += combined
+            self._m_promoted.inc(2)
+            self._m_promoted_bytes.inc(combined)
             self.hooks.charge(int(cfg.copy_byte_cost * combined))
             return
         if self.coalloc is not None and not obj.is_array:
@@ -116,6 +126,8 @@ class GenMSPlan(Plan):
             self.mature_objects.append(obj)
         stats.promoted_objects += 1
         stats.promoted_bytes += size
+        self._m_promoted.inc()
+        self._m_promoted_bytes.inc(size)
         self.hooks.charge(int(cfg.copy_byte_cost * size))
 
     # -- full collection -----------------------------------------------------------
@@ -132,6 +144,16 @@ class GenMSPlan(Plan):
     def _full_locked(self) -> None:
         cfg = self.config
         self.stats.full_gcs += 1
+        self._m_full.inc()
+        self._trace.begin("gc.full", cat="gc")
+        try:
+            self._full_body(cfg)
+        finally:
+            span = self._trace.end()
+            if span is not None:
+                self._m_pause.observe(span.dur)
+
+    def _full_body(self, cfg) -> None:
         self.hooks.charge(cfg.full_fixed_cost)
         live = self._trace_all_live()
         self.hooks.charge(cfg.mark_object_cost * len(live))

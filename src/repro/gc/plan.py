@@ -25,6 +25,7 @@ from repro.gc.coalloc import CoallocationPolicy
 from repro.gc.los import LargeObjectSpace
 from repro.gc.remset import RememberedSet
 from repro.gc.stats import GCStats
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.model import ClassInfo
 from repro.vm.objects import (
     SPACE_LOS,
@@ -62,11 +63,25 @@ class Plan:
     name = "base"
 
     def __init__(self, config: GCConfig, hooks: Optional[GCHooks] = None,
-                 coalloc: Optional[CoallocationPolicy] = None):
+                 coalloc: Optional[CoallocationPolicy] = None,
+                 telemetry=None):
         self.config = config
         self.hooks = hooks or GCHooks()
         self.coalloc = coalloc
         self.stats = GCStats()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._trace = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        self._m_minor = metrics.counter(
+            "gc.minor_collections", "nursery collections")
+        self._m_full = metrics.counter(
+            "gc.full_collections", "whole-heap collections")
+        self._m_promoted = metrics.counter(
+            "gc.promoted_objects", "objects promoted out of the nursery")
+        self._m_promoted_bytes = metrics.counter(
+            "gc.promoted_bytes", "bytes promoted out of the nursery")
+        self._m_pause = metrics.histogram(
+            "gc.pause_cycles", "simulated cycles per collection")
         self.remset = RememberedSet()
         self.los = LargeObjectSpace(layout.LOS_BASE,
                                     layout.LOS_LIMIT - layout.LOS_BASE)

@@ -78,12 +78,19 @@ class Measurement:
 _CACHE: Dict[RunSpec, Measurement] = {}
 
 
-def execute(spec: RunSpec) -> RunResult:
-    """Run one spec once (no caching)."""
+def execute(spec: RunSpec, telemetry=None) -> RunResult:
+    """Run one spec once (no caching).
+
+    ``telemetry`` rides on the :class:`SystemConfig`, never on the
+    frozen spec, so it cannot pollute the memoization key used by
+    :func:`measure`.
+    """
     if spec.interval not in INTERVAL_NAMES:
         raise ValueError(f"unknown interval {spec.interval!r}")
     workload = suite.build(spec.benchmark)
     config = spec.system_config(workload.min_heap_bytes)
+    if telemetry is not None:
+        config.telemetry = telemetry
     return run_program(workload.program, config, compilation_plan=workload.plan)
 
 
@@ -110,7 +117,8 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
-def make_vm(benchmark: str, spec: Optional[RunSpec] = None) -> Tuple[VM, object]:
+def make_vm(benchmark: str, spec: Optional[RunSpec] = None,
+            telemetry=None) -> Tuple[VM, object]:
     """Build a VM without running it (for experiments that intervene
     mid-run, like Figure 8's manual gap insertion).
 
@@ -119,5 +127,7 @@ def make_vm(benchmark: str, spec: Optional[RunSpec] = None) -> Tuple[VM, object]
     spec = spec or RunSpec(benchmark=benchmark, coalloc=True)
     workload = suite.build(benchmark)
     config = spec.system_config(workload.min_heap_bytes)
+    if telemetry is not None:
+        config.telemetry = telemetry
     vm = VM(workload.program, config, compilation_plan=workload.plan)
     return vm, workload

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional
 
 from repro.core.config import PerfmonConfig
 from repro.perfmon.userlib import UserSampleLibrary
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.scheduler import VirtualTimeScheduler
 
 
@@ -28,7 +29,7 @@ class CollectorThread:
     def __init__(self, userlib: UserSampleLibrary,
                  deliver: Callable[[List[int]], object],
                  scheduler: VirtualTimeScheduler,
-                 config: PerfmonConfig):
+                 config: PerfmonConfig, telemetry=None):
         self.userlib = userlib
         self.deliver = deliver
         self.scheduler = scheduler
@@ -37,6 +38,20 @@ class CollectorThread:
         self.polls = 0
         self.samples_delivered = 0
         self._running = False
+        tele = telemetry or NULL_TELEMETRY
+        self._trace = tele.tracer
+        metrics = tele.metrics
+        self._m_polls = metrics.counter(
+            "perfmon.collector.polls", "collector-thread poll ticks")
+        self._m_delivered = metrics.counter(
+            "perfmon.collector.samples_delivered",
+            "EIPs handed to the controller")
+        self._m_batch = metrics.histogram(
+            "perfmon.collector.batch_size", "samples per poll")
+        self._m_interval = metrics.gauge(
+            "perfmon.collector.poll_interval",
+            "adaptive polling delay in cycles")
+        self._m_interval.set(self.poll_interval)
 
     def start(self, now: int = 0) -> None:
         if self._running:
@@ -49,10 +64,13 @@ class CollectorThread:
 
     def drain_now(self) -> int:
         """Synchronous final drain (end of execution)."""
+        self._trace.begin("collector.drain", cat="perfmon")
         eips = self.userlib.read_samples_with_fill()
         if eips:
             self.deliver(eips)
             self.samples_delivered += len(eips)
+            self._m_delivered.inc(len(eips))
+        self._trace.end(batch=len(eips))
         return len(eips)
 
     # -- the periodic tick -----------------------------------------------------
@@ -61,11 +79,16 @@ class CollectorThread:
         if not self._running:
             return
         self.polls += 1
+        self._m_polls.inc()
+        self._trace.begin("collector.poll", cat="perfmon")
         eips = self.userlib.read_samples_with_fill()
         if eips:
             self.deliver(eips)
             self.samples_delivered += len(eips)
+            self._m_delivered.inc(len(eips))
+        self._m_batch.observe(len(eips))
         self._adapt(len(eips))
+        self._trace.end(batch=len(eips), next_poll=self.poll_interval)
         self.scheduler.after(now, self.poll_interval, self._tick)
 
     def _adapt(self, batch_size: int) -> None:
@@ -80,3 +103,4 @@ class CollectorThread:
         elif batch_size < cfg.poll_batch_low:
             self.poll_interval = min(cfg.poll_max_cycles,
                                      self.poll_interval * 2)
+        self._m_interval.set(self.poll_interval)

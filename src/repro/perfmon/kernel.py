@@ -21,13 +21,14 @@ from typing import List, Optional
 
 from repro.core.config import PerfmonConfig
 from repro.hw.pebs import PEBSUnit, Sample
+from repro.telemetry import NULL_TELEMETRY
 
 
 class PerfmonSession:
     """One monitoring session: an armed event with its kernel buffer."""
 
     def __init__(self, config: PerfmonConfig, pebs: PEBSUnit,
-                 event: str, interval: int):
+                 event: str, interval: int, telemetry=None):
         self.config = config
         self.pebs = pebs
         self.event = event
@@ -35,6 +36,19 @@ class PerfmonSession:
         self._buffer: List[Sample] = []
         self.samples_received = 0
         self.samples_dropped = 0
+        tele = telemetry or NULL_TELEMETRY
+        self._trace = tele.tracer
+        metrics = tele.metrics
+        self._m_interrupts = metrics.counter(
+            "perfmon.kernel.interrupts", "watermark interrupts handled")
+        self._m_received = metrics.counter(
+            "perfmon.kernel.samples_received",
+            "samples moved DS buffer -> kernel buffer")
+        self._m_dropped = metrics.counter(
+            "perfmon.kernel.samples_dropped",
+            "samples lost to a full kernel buffer")
+        self._m_fill = metrics.gauge(
+            "perfmon.kernel.buffer_fill", "kernel buffer occupancy")
         pebs.configure(event, interval)
 
     # -- interrupt side ---------------------------------------------------------
@@ -43,13 +57,23 @@ class PerfmonSession:
         """PMU interrupt handler: move DS samples into the kernel buffer."""
         capacity = self.config.kernel_buffer_capacity
         room = capacity - len(self._buffer)
+        self._m_interrupts.inc()
         if room >= len(batch):
             self._buffer.extend(batch)
             self.samples_received += len(batch)
+            self._m_received.inc(len(batch))
         else:
+            dropped = len(batch) - room
             self._buffer.extend(batch[:room])
             self.samples_received += room
-            self.samples_dropped += len(batch) - room
+            self.samples_dropped += dropped
+            self._m_received.inc(room)
+            self._m_dropped.inc(dropped)
+            self._trace.instant("perfmon.buffer_overflow", cat="perfmon",
+                                dropped=dropped)
+        self._m_fill.set(len(self._buffer))
+        self._trace.sample("perfmon.kernel.buffer_fill", len(self._buffer),
+                           cat="perfmon")
 
     # -- read side ------------------------------------------------------------------
 
@@ -61,6 +85,8 @@ class PerfmonSession:
             self.on_interrupt(pending)
         batch = self._buffer[:max_samples]
         del self._buffer[:len(batch)]
+        if batch:
+            self._m_fill.set(len(self._buffer))
         return batch
 
     def set_interval(self, interval: int) -> None:
@@ -79,8 +105,9 @@ class PerfmonSession:
 class PerfmonKernelModule:
     """Session factory; hides the machine-specific PMU details."""
 
-    def __init__(self, config: PerfmonConfig):
+    def __init__(self, config: PerfmonConfig, telemetry=None):
         self.config = config
+        self.telemetry = telemetry
         self.session: Optional[PerfmonSession] = None
 
     def create_session(self, pebs: PEBSUnit, event: str,
@@ -88,7 +115,8 @@ class PerfmonKernelModule:
         """Arm the PMU; only one session at a time (one PEBS event on P4)."""
         if self.session is not None:
             raise RuntimeError("a perfmon session is already active")
-        self.session = PerfmonSession(self.config, pebs, event, interval)
+        self.session = PerfmonSession(self.config, pebs, event, interval,
+                                      telemetry=self.telemetry)
         return self.session
 
     def close_session(self) -> None:

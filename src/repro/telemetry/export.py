@@ -1,0 +1,184 @@
+"""Trace and metrics exporters.
+
+Three output forms:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Each telemetry
+  category (perfmon, controller, gc, jit, feedback, vm) becomes one
+  named "thread" track; spans are complete (``ph: "X"``) events,
+  instants are ``ph: "i"``, and counter samples become ``ph: "C"``
+  counter tracks.  Timestamps are **simulated cycles**, not
+  microseconds — the viewer's time axis reads in cycles.
+* **JSONL** (:func:`write_jsonl`) — one self-describing JSON object per
+  line (``type`` is ``span`` / ``instant`` / ``sample`` / ``metrics``),
+  for ad-hoc analysis with ``jq`` or pandas.
+* **Plain-text timeline** (:func:`format_timeline`) — a terminal Gantt
+  chart of per-category occupancy over the run, used by the
+  ``python -m repro timeline`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+#: Stable thread-id assignment so traces from different runs line up.
+_KNOWN_CATEGORIES = ("vm", "jit", "gc", "perfmon", "controller", "feedback")
+
+_OCCUPANCY_CHARS = " ░▒▓█"
+
+
+def _tid_map(tracer: Tracer) -> Dict[str, int]:
+    tids: Dict[str, int] = {cat: i + 1
+                            for i, cat in enumerate(_KNOWN_CATEGORIES)}
+    for cat in tracer.categories():
+        if cat not in tids:
+            tids[cat] = len(tids) + 1
+    return tids
+
+
+def chrome_trace(tracer: Tracer,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metadata: Optional[dict] = None) -> dict:
+    """Build a Chrome trace-event document from recorded telemetry."""
+    tids = _tid_map(tracer)
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "repro simulated VM"}},
+    ]
+    for cat, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                       "tid": tid, "args": {"name": cat}})
+    for ev in tracer.spans:
+        record = {"name": ev.name, "cat": ev.cat, "ph": "X",
+                  "ts": ev.ts, "dur": ev.dur, "pid": 1,
+                  "tid": tids[ev.cat]}
+        if ev.args:
+            record["args"] = ev.args
+        events.append(record)
+    for ev in tracer.instants:
+        record = {"name": ev.name, "cat": ev.cat, "ph": "i", "s": "t",
+                  "ts": ev.ts, "pid": 1, "tid": tids.get(ev.cat, 0)}
+        if ev.args:
+            record["args"] = ev.args
+        events.append(record)
+    for ev in tracer.samples:
+        events.append({"name": ev.name, "cat": ev.cat, "ph": "C",
+                       "ts": ev.ts, "pid": 1, "tid": tids.get(ev.cat, 0),
+                       "args": {"value": ev.value}})
+    other = {"clock": "simulated cycles"}
+    if tracer.dropped_events:
+        other["dropped_events"] = tracer.dropped_events
+    if metadata:
+        other.update(metadata)
+    doc = {"traceEvents": events, "displayTimeUnit": "ns",
+           "otherData": other}
+    if metrics is not None:
+        doc["metrics"] = metrics.snapshot()
+    return doc
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       metrics: Optional[MetricsRegistry] = None,
+                       metadata: Optional[dict] = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, metrics, metadata), fh)
+        fh.write("\n")
+
+
+def jsonl_records(tracer: Tracer,
+                  metrics: Optional[MetricsRegistry] = None) -> List[dict]:
+    records: List[dict] = []
+    for ev in tracer.spans:
+        records.append({"type": "span", "name": ev.name, "cat": ev.cat,
+                        "ts": ev.ts, "dur": ev.dur, "depth": ev.depth,
+                        "args": ev.args})
+    for ev in tracer.instants:
+        records.append({"type": "instant", "name": ev.name, "cat": ev.cat,
+                        "ts": ev.ts, "args": ev.args})
+    for ev in tracer.samples:
+        records.append({"type": "sample", "name": ev.name, "cat": ev.cat,
+                        "ts": ev.ts, "value": ev.value})
+    records.sort(key=lambda r: r["ts"])
+    if metrics is not None:
+        records.append({"type": "metrics", "data": metrics.snapshot()})
+    return records
+
+
+def write_jsonl(path: str, tracer: Tracer,
+                metrics: Optional[MetricsRegistry] = None) -> None:
+    with open(path, "w") as fh:
+        for record in jsonl_records(tracer, metrics):
+            fh.write(json.dumps(record))
+            fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Text timeline
+# ---------------------------------------------------------------------------
+
+def _occupancy_row(spans, start: int, bucket: int, width: int) -> str:
+    """One category lane: per-column fraction of the bucket inside spans."""
+    filled = [0.0] * width
+    for ev in spans:
+        lo = ev.ts
+        hi = ev.ts + max(ev.dur, 1)  # zero-cost spans still show up
+        first = max(0, int((lo - start) // bucket))
+        last = min(width - 1, int((hi - 1 - start) // bucket))
+        for col in range(first, last + 1):
+            c_lo = start + col * bucket
+            c_hi = c_lo + bucket
+            overlap = min(hi, c_hi) - max(lo, c_lo)
+            if overlap > 0:
+                filled[col] += overlap / bucket
+    out = []
+    for frac in filled:
+        if frac <= 0:
+            out.append(_OCCUPANCY_CHARS[0])
+        else:
+            idx = min(len(_OCCUPANCY_CHARS) - 1,
+                      1 + int(min(frac, 1.0) * (len(_OCCUPANCY_CHARS) - 2)))
+            out.append(_OCCUPANCY_CHARS[idx])
+    return "".join(out)
+
+
+def format_timeline(tracer: Tracer, total_cycles: Optional[int] = None,
+                    width: int = 72, top_spans: int = 3) -> str:
+    """Render the trace as a text Gantt of per-category occupancy.
+
+    Each row is one telemetry category (gc, perfmon, ...); each column
+    covers ``total/width`` simulated cycles; the glyph encodes how much
+    of that slice the category's spans occupied (' ' none .. '█' all).
+    """
+    end = max(total_cycles or 0, tracer.end_cycle())
+    if end <= 0 or not tracer.spans:
+        return "timeline: no spans recorded"
+    width = max(10, width)
+    bucket = max(1, (end + width - 1) // width)
+    by_cat: Dict[str, list] = {}
+    for ev in tracer.spans:
+        by_cat.setdefault(ev.cat, []).append(ev)
+    lanes = [cat for cat in _KNOWN_CATEGORIES if cat in by_cat]
+    lanes += [cat for cat in by_cat if cat not in lanes]
+
+    label_w = max(len(cat) for cat in lanes)
+    lines = [f"timeline: 0 .. {end:,} cycles "
+             f"({bucket:,} cycles/column, {len(tracer.spans)} spans)"]
+    for cat in lanes:
+        spans = by_cat[cat]
+        busy = sum(ev.dur for ev in spans)
+        row = _occupancy_row(spans, 0, bucket, width)
+        lines.append(f"{cat:>{label_w}} |{row}| "
+                     f"{len(spans)} spans, {busy:,} cy "
+                     f"({busy / end:.1%})")
+    if top_spans:
+        lines.append("")
+        lines.append("longest spans:")
+        for ev in sorted(tracer.spans, key=lambda e: -e.dur)[:top_spans]:
+            lines.append(f"  {ev.cat}/{ev.name}: {ev.dur:,} cy "
+                         f"@ {ev.ts:,}")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Span tracing on the simulated cycle clock.
+
+Every timestamp comes from a ``clock`` callable that the VM binds to
+its CPU cycle counter (:attr:`repro.hw.cpu.CPU.cycles`) — *never* wall
+time.  A span therefore measures exactly the simulated cycles its
+enclosed code charged to the clock: a ``gc.minor`` span's duration is
+the minor collection's cost model output, a ``collector.poll`` span's
+duration is the JNI round trip plus copy costs, and the gaps between
+spans are attributable application time.  That is what makes the trace
+comparable to the paper's Figure 2/5 cycle accounting.
+
+Spans nest via an explicit stack (``begin``/``end`` or the ``span``
+context manager); ``instant`` marks zero-duration events (interval
+adaptations, feedback verdicts, buffer overflows); ``sample`` records a
+named value over time (buffer fill levels) that exporters turn into
+Chrome counter tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class SpanEvent:
+    """One finished span: ``[ts, ts+dur)`` on the simulated clock."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "depth", "args")
+
+    def __init__(self, name: str, cat: str, ts: int, dur: int,
+                 depth: int, args: Optional[dict]):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.depth = depth
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanEvent({self.name!r}, cat={self.cat!r}, ts={self.ts}, "
+                f"dur={self.dur})")
+
+
+class InstantEvent:
+    """A zero-duration marker on the simulated clock."""
+
+    __slots__ = ("name", "cat", "ts", "args")
+
+    def __init__(self, name: str, cat: str, ts: int, args: Optional[dict]):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.args = args
+
+
+class CounterSample:
+    """A named value sampled at one point in simulated time."""
+
+    __slots__ = ("name", "cat", "ts", "value")
+
+    def __init__(self, name: str, cat: str, ts: int, value):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.value = value
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer.end()
+        return False
+
+
+class Tracer:
+    """Collects spans/instants/samples stamped with the simulated clock."""
+
+    enabled = True
+
+    #: Safety cap: events past this bound are counted, not stored, so a
+    #: pathological run cannot exhaust memory.  Generous relative to any
+    #: simulated execution in this repository.
+    max_events = 500_000
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        self.clock: Callable[[], int] = clock or (lambda: 0)
+        self.spans: List[SpanEvent] = []
+        self.instants: List[InstantEvent] = []
+        self.samples: List[CounterSample] = []
+        self.dropped_events = 0
+        self._stack: List[list] = []  # [name, cat, ts, args]
+
+    # -- spans -------------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "vm", **args) -> None:
+        """Open a span; pair with :meth:`end` (stack discipline)."""
+        self._stack.append([name, cat, self.clock(), args or None])
+
+    def end(self, **extra) -> Optional[SpanEvent]:
+        """Close the innermost open span; ``extra`` merges into its args."""
+        name, cat, ts, args = self._stack.pop()
+        if extra:
+            args = {**(args or {}), **extra}
+        now = self.clock()
+        event = SpanEvent(name, cat, ts, now - ts, len(self._stack), args)
+        if len(self.spans) < self.max_events:
+            self.spans.append(event)
+        else:
+            self.dropped_events += 1
+        return event
+
+    def span(self, name: str, cat: str = "vm", **args) -> _SpanContext:
+        """``with tracer.span("gc.minor", cat="gc"): ...``"""
+        self.begin(name, cat, **args)
+        return _SpanContext(self)
+
+    # -- point events ------------------------------------------------------
+
+    def instant(self, name: str, cat: str = "vm", **args) -> None:
+        if len(self.instants) < self.max_events:
+            self.instants.append(
+                InstantEvent(name, cat, self.clock(), args or None))
+        else:
+            self.dropped_events += 1
+
+    def sample(self, name: str, value, cat: str = "vm") -> None:
+        if len(self.samples) < self.max_events:
+            self.samples.append(CounterSample(name, cat, self.clock(), value))
+        else:
+            self.dropped_events += 1
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def categories(self) -> List[str]:
+        """Distinct span/instant categories, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for ev in self.spans:
+            seen.setdefault(ev.cat)
+        for ev in self.instants:
+            seen.setdefault(ev.cat)
+        return list(seen)
+
+    def end_cycle(self) -> int:
+        """Last timestamp observed in any recorded event."""
+        end = 0
+        for ev in self.spans:
+            end = max(end, ev.ts + ev.dur)
+        for ev in self.instants:
+            end = max(end, ev.ts)
+        for ev in self.samples:
+            end = max(end, ev.ts)
+        return end
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing; every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def begin(self, name: str, cat: str = "vm", **args) -> None:
+        pass
+
+    def end(self, **extra) -> Optional[SpanEvent]:
+        return None
+
+    def span(self, name: str, cat: str = "vm", **args) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "vm", **args) -> None:
+        pass
+
+    def sample(self, name: str, value, cat: str = "vm") -> None:
+        pass

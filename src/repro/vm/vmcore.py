@@ -48,6 +48,7 @@ from repro.jit.opt import compile_opt
 from repro.perfmon.collector import CollectorThread
 from repro.perfmon.kernel import PerfmonKernelModule
 from repro.perfmon.userlib import UserSampleLibrary
+from repro.telemetry import NULL_TELEMETRY
 from repro.vm.model import ClassInfo, FieldInfo, MethodInfo
 from repro.vm.program import Program
 from repro.vm.scheduler import VirtualTimeScheduler
@@ -79,6 +80,11 @@ class RunResult:
         accesses = self.counters["L1D_ACCESS"]
         return self.counters["L1D_MISS"] / accesses if accesses else 0.0
 
+    @property
+    def telemetry(self):
+        """The run's telemetry bundle (the shared null one when off)."""
+        return self.vm.telemetry if self.vm is not None else None
+
 
 class VM:
     """One configured execution environment for one guest program."""
@@ -90,6 +96,10 @@ class VM:
         self.config = config or SystemConfig()
         self.compilation_plan = compilation_plan
         self.rng = random.Random(self.config.seed)
+        #: Observability: a pure observer of the simulation (never
+        #: charges cycles or consumes randomness).  Defaults to the
+        #: shared null instance, which records nothing.
+        self.telemetry = self.config.telemetry or NULL_TELEMETRY
 
         # Hardware.
         self.counters = EventCounters()
@@ -108,16 +118,19 @@ class VM:
         if self.config.coalloc and self.config.gc_plan == "genms":
             provider = hot_field_override or self._hot_field
             self.coalloc_policy = CoallocationPolicy(
-                provider, max_combined_bytes=self.config.gc.max_cell_bytes)
+                provider, max_combined_bytes=self.config.gc.max_cell_bytes,
+                telemetry=self.telemetry)
         hooks = GCHooks(roots=self._gc_roots, charge=self._charge_gc,
                         pollute_minor=self.memsys.pollute_minor,
                         pollute_full=self.memsys.pollute_full)
         self.plan = make_plan(self.config.gc_plan, self.config.gc, hooks,
-                              self.coalloc_policy)
+                              self.coalloc_policy, telemetry=self.telemetry)
 
         # CPU.
         self.cpu = CPU(self.config.machine, self.memsys, runtime=self,
                        scheduler=self.scheduler)
+        # Trace timestamps come from the simulated cycle clock.
+        self.telemetry.bind_clock(lambda: self.cpu.cycles)
         self.method_profiler = None
         if self.config.method_profiling:
             from repro.core.counting import MethodProfiler
@@ -145,7 +158,8 @@ class VM:
 
     def _init_monitoring(self) -> None:
         cfg = self.config
-        self.kernel = PerfmonKernelModule(cfg.perfmon)
+        self.kernel = PerfmonKernelModule(cfg.perfmon,
+                                          telemetry=self.telemetry)
         self.pebs = PEBSUnit(
             cfg.pebs, cost_sink=self._charge_monitoring,
             interrupt_handler=lambda batch: self.kernel.session.on_interrupt(batch),
@@ -166,14 +180,16 @@ class VM:
             charge=self._charge_monitoring,
             set_sampling_interval=session.set_interval,
             auto_interval=cfg.sampling_interval is None,
-            sampling_switch=sampling_switch)
+            sampling_switch=sampling_switch,
+            telemetry=self.telemetry)
         self.controller.current_interval = interval
         self.userlib = UserSampleLibrary(session, cfg.perfmon,
                                          charge=self._charge_monitoring,
                                          gc_guard=self._gc_guard)
         self.collector = CollectorThread(self.userlib,
                                          self.controller.process_samples,
-                                         self.scheduler, cfg.perfmon)
+                                         self.scheduler, cfg.perfmon,
+                                         telemetry=self.telemetry)
 
     # -- cycle buckets ---------------------------------------------------------------
 
@@ -225,10 +241,13 @@ class VM:
         cm = method.current_code
         if cm is not None:
             return cm
-        cm = compile_baseline(method)
-        self.codecache.install(cm)
-        self._charge_compile(
-            self.config.jit.baseline_cost_per_bc * max(1, len(method.code)))
+        with self.telemetry.tracer.span("jit.compile_baseline", cat="jit",
+                                        method=method.qualified_name):
+            cm = compile_baseline(method, telemetry=self.telemetry)
+            self.codecache.install(cm)
+            self._charge_compile(
+                self.config.jit.baseline_cost_per_bc
+                * max(1, len(method.code)))
         method.baseline_code = cm
         method.current_code = cm
         method.compile_count += 1
@@ -238,12 +257,15 @@ class VM:
 
     def opt_compile(self, method: MethodInfo) -> CompiledMethod:
         """Recompile at the optimizing level; new calls use the new code."""
-        cm = compile_opt(method, inline=self.config.jit.inline,
-                         inline_max_bytecodes=self.config.jit.inline_max_bytecodes,
-                         devirt=self.config.jit.devirtualize)
-        self.codecache.install(cm)
-        self._charge_compile(
-            self.config.jit.opt_cost_per_bc * max(1, len(method.code)))
+        with self.telemetry.tracer.span("jit.compile_opt", cat="jit",
+                                        method=method.qualified_name):
+            cm = compile_opt(method, inline=self.config.jit.inline,
+                             inline_max_bytecodes=self.config.jit.inline_max_bytecodes,
+                             devirt=self.config.jit.devirtualize,
+                             telemetry=self.telemetry)
+            self.codecache.install(cm)
+            self._charge_compile(
+                self.config.jit.opt_cost_per_bc * max(1, len(method.code)))
         if method.current_code is not None:
             self.codecache.note_replaced(method.current_code)
         method.opt_code = cm
@@ -304,6 +326,7 @@ class VM:
         self.cpu.sync_counters()
         cycles = self.cpu.cycles
         overhead = self.gc_cycles + self.monitoring_cycles + self.compile_cycles
+        self._publish_metrics(cycles, overhead)
         return RunResult(
             program=self.program.name,
             cycles=cycles,
@@ -318,6 +341,33 @@ class VM:
             exit_value=exit_value,
             vm=self,
         )
+
+    def _publish_metrics(self, cycles: int, overhead: int) -> None:
+        """Export the end-of-run aggregates through the metrics registry.
+
+        This is the canonical machine-readable surface for everything
+        the CLI prints after a run: cycle buckets, hardware counters,
+        and (via :meth:`OnlineOptimizationController.publish_metrics`)
+        the controller summary.  A null registry makes it a no-op.
+        """
+        metrics = self.telemetry.metrics
+        if not metrics.enabled:
+            return
+        gauges = {
+            "vm.cycles": cycles,
+            "vm.instructions": self.cpu.instructions,
+            "vm.app_cycles": cycles - overhead,
+            "vm.gc_cycles": self.gc_cycles,
+            "vm.monitoring_cycles": self.monitoring_cycles,
+            "vm.compile_cycles": self.compile_cycles,
+        }
+        for name, value in gauges.items():
+            metrics.gauge(name).set(value)
+        counters = metrics.gauge("hw.counters")
+        for event, count in self.counters.snapshot().items():
+            counters.labels(event).set(count)
+        if self.controller is not None:
+            self.controller.publish_metrics()
 
 
 def run_program(program: Program, config: Optional[SystemConfig] = None,

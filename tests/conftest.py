@@ -1,0 +1,21 @@
+"""Shared pytest fixtures.
+
+The harness runner memoizes :class:`~repro.harness.runner.Measurement`
+objects in a process-wide ``_CACHE``.  Tests within one module may rely
+on that reuse (``test_experiments_plumbing`` deliberately warms the
+cache once per module), but results must never leak *across* modules —
+a module that tweaks global state before running a spec would otherwise
+poison later modules' measurements.  The module-scoped autouse fixture
+clears the cache at each module boundary.
+"""
+
+import pytest
+
+from repro.harness import runner
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_runner_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()

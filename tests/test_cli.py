@@ -53,3 +53,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 4" in out
         assert "fop" in out
+
+
+class TestObservability:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.strip() != "repro"
+
+    def test_no_monitoring_prints_disabled(self, capsys):
+        main(["run", "fop", "--no-monitoring", "--heap-mult", "2"])
+        out = capsys.readouterr().out
+        assert "monitoring           : disabled" in out
+
+    def test_run_trace_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        main(["run", "fop", "--heap-mult", "2", "--trace", str(path)])
+        out = capsys.readouterr().out
+        assert "trace                :" in out
+        doc = json.loads(path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        assert doc["otherData"]["clock"] == "simulated cycles"
+
+    def test_run_trace_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        main(["run", "fop", "--heap-mult", "2", "--trace", str(path)])
+        capsys.readouterr()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[-1]["type"] == "metrics"
+
+    def test_run_metrics_flag(self, capsys):
+        main(["run", "fop", "--heap-mult", "2", "--metrics"])
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "gauge vm.cycles" in out
+
+    def test_timeline_command(self, capsys):
+        main(["timeline", "fop", "--heap-mult", "2", "--width", "40"])
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "cycles/column" in out
