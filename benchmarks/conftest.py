@@ -1,8 +1,15 @@
 """Shared fixtures for the benchmark harness.
 
-Runs are memoized process-wide (see repro.harness.runner), so figures
-that share configurations (Figure 4's large-heap points are Figure 5's
-4x points) pay for them once.
+Runs are memoized process-wide (see repro.harness.runner) and persisted
+to the on-disk result cache (repro.harness.diskcache), so figures that
+share configurations (Figure 4's large-heap points are Figure 5's 4x
+points) pay for them once — and a re-run against unchanged code pays
+for nothing at all.
+
+A session-scoped fixture warms the entire suite's run matrix through
+the parallel engine before the first test, so on a multi-core machine
+the figures' serial ``measure`` loops are pure cache hits.  Control the
+worker count with ``REPRO_JOBS`` (1 = serial).
 
 Set ``REPRO_QUICK=1`` to run a reduced matrix (three benchmarks, two
 heap sizes) — useful while iterating; the full matrix is the default
@@ -13,6 +20,8 @@ import os
 
 import pytest
 
+from repro.harness import engine
+from repro.harness import experiments as ex
 from repro.workloads import suite
 
 QUICK = bool(int(os.environ.get("REPRO_QUICK", "0")))
@@ -29,6 +38,13 @@ def pytest_report_header(config):
     mode = "QUICK (REPRO_QUICK=1)" if QUICK else "full"
     return (f"repro benchmark harness: {mode} matrix, "
             f"{len(BENCHMARKS)} benchmarks")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _warm_suite():
+    """Precompute the suite's run matrix across cores (or recall it from
+    the disk cache) before the first figure asserts on it."""
+    engine.warm(ex.figure_specs(list(BENCHMARKS), tuple(HEAP_MULTS)))
 
 
 @pytest.fixture(scope="session")

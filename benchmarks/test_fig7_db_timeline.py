@@ -16,6 +16,7 @@ from conftest import write_result
 from repro.harness import experiments as ex
 from repro.harness.report import format_fig7
 from repro.harness.runner import RunSpec, measure
+from repro.workloads import suite
 
 
 def _steady_state(values, fraction=0.33):
@@ -58,8 +59,9 @@ def test_fig7_coalloc_cuts_string_misses(benchmark):
     def run_off():
         res = measure(RunSpec(benchmark="db", heap_mult=4.0, coalloc=False,
                               monitoring=True)).result
-        fld = res.vm.program.string_class.field("value")
-        return [n for _, n in res.vm.controller.monitor.series(fld)]
+        name = suite.build("db").program.string_class.field(
+            "value").qualified_name
+        return [n for _, n in res.series(name)]
 
     off_series = benchmark.pedantic(run_off, rounds=1, iterations=1)
     on = ex.fig7_db_timeline()

@@ -45,7 +45,7 @@ def test_fig8_no_revert_without_regression(benchmark):
     def run_normal():
         res = measure(RunSpec(benchmark="db", heap_mult=4.0, coalloc=True,
                               monitoring=True)).result
-        return res.vm.controller.feedback
+        return res.reverted_experiments
 
-    feedback = benchmark.pedantic(run_normal, rounds=1, iterations=1)
-    assert feedback.reverted_experiments() == []
+    reverted = benchmark.pedantic(run_normal, rounds=1, iterations=1)
+    assert reverted == []

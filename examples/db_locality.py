@@ -62,10 +62,11 @@ def main() -> None:
     print(f"execution-time reduction: {speedup:.1%}    (paper: up to 13.9%)")
 
     # Figure 7(b): the String::value miss-rate timeline.
-    vm = full.result.vm
-    fld = vm.program.string_class.field("value")
-    series = [n for _, n in vm.controller.monitor.series(fld)]
-    smooth = vm.controller.monitor.moving_average(series)
+    record = full.result
+    name = suite.build("db").program.string_class.field(
+        "value").qualified_name
+    series = [n for _, n in record.series(name)]
+    smooth = record.moving_average(series)
     print("\nString::value estimated misses per period "
           "(moving average, Figure 7b):")
     print(sparkline(smooth))

@@ -8,13 +8,19 @@ timeline BENCH [options]  run one benchmark, print a text trace timeline
 table1 | table2           regenerate a table
 fig2 .. fig8              regenerate a figure
 ablations                 run the ablation experiments
+cache stats | clear       inspect or drop the persistent result cache
+
+Table/figure commands accept ``--jobs N`` to fan uncached runs across N
+worker processes (default: ``REPRO_JOBS`` or the CPU count; ``--jobs 1``
+runs serially in-process).  Results are bit-identical either way.
 
 Examples::
 
     python -m repro run db --heap-mult 4 --coalloc --trace out.json
     python -m repro timeline db --coalloc
-    python -m repro fig4 --benchmarks db,pseudojbb,compress
+    python -m repro fig4 --benchmarks db,pseudojbb,compress --jobs 4
     python -m repro fig6
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -124,27 +130,32 @@ def cmd_table1(args) -> None:
 
 
 def cmd_table2(args) -> None:
-    print(report.format_table2(ex.table2(args.benchmark_names)))
+    print(report.format_table2(ex.table2(args.benchmark_names,
+                                         jobs=args.jobs)))
 
 
 def cmd_fig2(args) -> None:
-    print(report.format_fig2(ex.fig2_sampling_overhead(args.benchmark_names)))
+    print(report.format_fig2(ex.fig2_sampling_overhead(args.benchmark_names,
+                                                       jobs=args.jobs)))
 
 
 def cmd_fig3(args) -> None:
-    print(report.format_fig3(ex.fig3_coalloc_counts(args.benchmark_names)))
+    print(report.format_fig3(ex.fig3_coalloc_counts(args.benchmark_names,
+                                                    jobs=args.jobs)))
 
 
 def cmd_fig4(args) -> None:
-    print(report.format_fig4(ex.fig4_l1_reduction(args.benchmark_names)))
+    print(report.format_fig4(ex.fig4_l1_reduction(args.benchmark_names,
+                                                  jobs=args.jobs)))
 
 
 def cmd_fig5(args) -> None:
-    print(report.format_fig5(ex.fig5_exec_time(args.benchmark_names)))
+    print(report.format_fig5(ex.fig5_exec_time(args.benchmark_names,
+                                               jobs=args.jobs)))
 
 
 def cmd_fig6(args) -> None:
-    print(report.format_fig6(ex.fig6_gencopy_vs_genms()))
+    print(report.format_fig6(ex.fig6_gencopy_vs_genms(jobs=args.jobs)))
 
 
 def cmd_fig7(args) -> None:
@@ -180,11 +191,11 @@ def cmd_disasm(args) -> None:
 def cmd_ablations(args) -> None:
     from repro.harness import ablations as ab
 
-    ev = ab.event_driver_ablation()
+    ev = ab.event_driver_ablation(jobs=args.jobs)
     print(f"event-driver ablation ({ev.benchmark}):")
     for event, (cycles, l1, co) in ev.by_event.items():
         print(f"  {event:10s} cycles={cycles:,} coallocated={co}")
-    oracle = ab.static_oracle_ablation()
+    oracle = ab.static_oracle_ablation(jobs=args.jobs)
     print(f"\nstatic-oracle ablation ({oracle.benchmark}):")
     print(f"  online speedup {oracle.online_speedup:.1%}, "
           f"oracle speedup {oracle.oracle_speedup:.1%}")
@@ -193,6 +204,27 @@ def cmd_ablations(args) -> None:
         print(f"\nprefetcher off ({name}): "
               f"+{pf.slowdown_without:.1%} time, "
               f"L2 misses {pf.l2_misses_with:,} -> {pf.l2_misses_without:,}")
+
+
+def cmd_cache(args) -> None:
+    from repro.harness import runner
+    from repro.harness.diskcache import DiskCache, cache_enabled
+
+    if not cache_enabled():
+        print("disk cache disabled (REPRO_DISK_CACHE=0)")
+        return
+    cache = DiskCache()
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        runner.clear_cache()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    else:
+        stats = cache.stats()
+        print(f"root          : {stats['root']}")
+        print(f"code version  : {stats['version']}")
+        print(f"entries       : {stats['entries']} (current version)")
+        print(f"stale entries : {stats['stale_entries']} (older versions)")
+        print(f"size          : {stats['bytes'] / 1024:.1f} KiB")
 
 
 def main(argv: Optional[List[str]] = None) -> None:
@@ -236,13 +268,32 @@ def main(argv: Optional[List[str]] = None) -> None:
     tl_p.add_argument("--width", type=int, default=72,
                       help="timeline width in columns (default 72)")
 
+    def positive_int(value: str) -> int:
+        jobs = int(value)
+        if jobs < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+        return jobs
+
+    def add_jobs_option(p) -> None:
+        p.add_argument("--jobs", type=positive_int, default=None, metavar="N",
+                       help="worker processes for uncached runs (default: "
+                            "REPRO_JOBS or the CPU count; 1 = serial)")
+
     for name in ("table2", "fig2", "fig3", "fig4", "fig5"):
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
         fig_p.add_argument("--benchmarks", default="",
                            help="comma-separated subset (default: all 16)")
+        add_jobs_option(fig_p)
     for name in ("table1", "fig6", "fig7", "fig8", "ablations"):
-        sub.add_parser(name, help=f"regenerate {name}"
-                       if name != "ablations" else "run the ablations")
+        fig_p = sub.add_parser(name, help=f"regenerate {name}"
+                               if name != "ablations" else "run the ablations")
+        if name in ("fig6", "ablations"):
+            add_jobs_option(fig_p)
+
+    cache_p = sub.add_parser("cache",
+                             help="inspect or clear the persistent "
+                                  "result cache")
+    cache_p.add_argument("cache_command", choices=["stats", "clear"])
 
     dis_p = sub.add_parser("disasm", help="disassemble a benchmark method")
     dis_p.add_argument("benchmark", choices=suite.all_names())
@@ -260,7 +311,7 @@ def main(argv: Optional[List[str]] = None) -> None:
         "fig2": cmd_fig2, "fig3": cmd_fig3, "fig4": cmd_fig4,
         "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,
         "fig8": cmd_fig8, "ablations": cmd_ablations,
-        "disasm": cmd_disasm,
+        "disasm": cmd_disasm, "cache": cmd_cache,
     }
     handlers[args.command](args)
 

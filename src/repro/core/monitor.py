@@ -25,6 +25,19 @@ from repro.core.config import MonitorConfig
 from repro.vm.model import ClassInfo, FieldInfo
 
 
+def moving_average(values: List[int], window: int) -> List[float]:
+    """Trailing moving average over ``window`` periods ("the moving
+    average over the last 3 periods ... follows the general trend
+    without heavy local fluctuations", section 6.4).  Module-level so
+    portable run records can smooth cached series without a monitor."""
+    out: List[float] = []
+    for i in range(len(values)):
+        lo = max(0, i - window + 1)
+        chunk = values[lo:i + 1]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
 @dataclass
 class PeriodRecord:
     """One closed measurement period."""
@@ -144,16 +157,10 @@ class OnlineMonitor:
 
     def moving_average(self, values: List[int],
                        window: Optional[int] = None) -> List[float]:
-        """Trailing moving average ("the moving average over the last 3
-        periods ... follows the general trend without heavy local
-        fluctuations", section 6.4)."""
-        w = window or self.config.moving_average_window
-        out: List[float] = []
-        for i in range(len(values)):
-            lo = max(0, i - w + 1)
-            chunk = values[lo:i + 1]
-            out.append(sum(chunk) / len(chunk))
-        return out
+        """Trailing moving average at the configured window (see the
+        module-level :func:`moving_average`)."""
+        return moving_average(values, window or
+                              self.config.moving_average_window)
 
     def recent_rate(self, field: FieldInfo,
                     window: Optional[int] = None) -> float:

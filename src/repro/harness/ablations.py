@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.config import GCConfig, SystemConfig
+from repro.harness import engine
 from repro.harness.runner import RunSpec, measure
 from repro.vm.vmcore import RunResult, run_program
 from repro.workloads import suite
@@ -36,8 +37,14 @@ class EventDriverResult:
 
 
 def event_driver_ablation(benchmark: str = "pseudojbb",
-                          heap_mult: float = 4.0) -> EventDriverResult:
+                          heap_mult: float = 4.0,
+                          jobs: Optional[int] = None) -> EventDriverResult:
     """Co-allocation guided by L1 vs DTLB misses (section 6.3's aside)."""
+    engine.warm([RunSpec(benchmark=benchmark, heap_mult=heap_mult,
+                         coalloc=False, monitoring=False)]
+                + [RunSpec(benchmark=benchmark, heap_mult=heap_mult,
+                           coalloc=True, monitoring=True, event=event)
+                   for event in ("L1D_MISS", "DTLB_MISS")], jobs=jobs)
     base = measure(RunSpec(benchmark=benchmark, heap_mult=heap_mult,
                            coalloc=False, monitoring=False))
     by_event = {}
@@ -69,7 +76,8 @@ class OracleResult:
 
 
 def static_oracle_ablation(benchmark: str = "db",
-                           heap_mult: float = 4.0) -> OracleResult:
+                           heap_mult: float = 4.0,
+                           jobs: Optional[int] = None) -> OracleResult:
     """Online HPM guidance vs a perfect static hot-field oracle.
 
     The oracle knows each workload's hot field from construction
@@ -77,6 +85,10 @@ def static_oracle_ablation(benchmark: str = "db",
     very first collection — the upper bound on what co-allocation can
     deliver.
     """
+    engine.warm([RunSpec(benchmark=benchmark, heap_mult=heap_mult,
+                         coalloc=False, monitoring=False),
+                 RunSpec(benchmark=benchmark, heap_mult=heap_mult,
+                         coalloc=True, monitoring=True)], jobs=jobs)
     base = measure(RunSpec(benchmark=benchmark, heap_mult=heap_mult,
                            coalloc=False, monitoring=False))
     online = measure(RunSpec(benchmark=benchmark, heap_mult=heap_mult,

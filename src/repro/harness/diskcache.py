@@ -1,0 +1,180 @@
+"""Persistent on-disk result cache for the experiment harness.
+
+Re-running any figure — locally or in CI — should cost simulation time
+only once.  Runs are deterministic functions of their :class:`RunSpec`
+*and* of the simulator's code, so the cache key combines both:
+
+* **spec key** — a hash of the spec's canonical JSON form,
+* **code version** — a hash over every source file of the ``repro``
+  package (plus the record schema version).  Any change to the
+  simulator, GC, JIT, or harness invalidates every cached result at
+  once; stale versions are swept by :meth:`DiskCache.clear` or simply
+  ignored.
+
+Layout: one JSON file per entry under ``<root>/<version>/<spec>.json``,
+written atomically (tmp file + ``os.replace``), so concurrent writers —
+parallel workers, two CI jobs sharing a cache volume — can never leave a
+torn file behind.  A truncated or otherwise corrupt entry is treated as
+a miss and deleted; the result is recomputed, never trusted.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``results/.cache``),
+* ``REPRO_DISK_CACHE=0`` — disable the disk layer entirely (the
+  in-process memo still applies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import asdict
+from typing import Optional
+
+from repro.harness.record import RunRecord, SCHEMA_VERSION
+
+#: Default cache root, relative to the working directory.
+DEFAULT_ROOT = os.path.join("results", ".cache")
+
+_CODE_VERSION: Optional[str] = None
+
+
+def cache_enabled() -> bool:
+    """Whether the disk layer is switched on (``REPRO_DISK_CACHE``)."""
+    return os.environ.get("REPRO_DISK_CACHE", "1") != "0"
+
+
+def cache_root() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT)
+
+
+def code_version() -> str:
+    """Hash of the ``repro`` package sources + the record schema.
+
+    Computed once per process; a one-line change anywhere in the
+    simulator yields a different version, so cached results can never
+    outlive the code that produced them.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        digest = hashlib.sha256()
+        digest.update(f"schema:{SCHEMA_VERSION}".encode())
+        pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        sources = []
+        for dirpath, _dirnames, filenames in os.walk(pkg_dir):
+            for name in filenames:
+                if name.endswith(".py"):
+                    path = os.path.join(dirpath, name)
+                    sources.append((os.path.relpath(path, pkg_dir), path))
+        for relpath, path in sorted(sources):
+            digest.update(relpath.encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def spec_key(spec) -> str:
+    """Stable hash of one RunSpec's canonical JSON form."""
+    canonical = json.dumps(asdict(spec), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+class DiskCache:
+    """One directory of spec-keyed run records for one code version."""
+
+    def __init__(self, root: Optional[str] = None,
+                 version: Optional[str] = None):
+        self.root = root or cache_root()
+        self.version = version or code_version()
+        #: Session counters (surfaced by ``cache stats`` and tests).
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, spec) -> str:
+        return os.path.join(self.root, self.version, spec_key(spec) + ".json")
+
+    # -- read/write ----------------------------------------------------------
+
+    def get(self, spec) -> Optional[RunRecord]:
+        """Load the cached record for ``spec``, or None.
+
+        Any unreadable entry — truncated write, foreign schema, hand
+        edit — is deleted and reported as a miss: the cache degrades to
+        recomputation, never to wrong results.
+        """
+        path = self._entry_path(spec)
+        try:
+            with open(path, "r") as fh:
+                doc = json.load(fh)
+            record = RunRecord.from_json(doc["record"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, spec, record: RunRecord) -> None:
+        """Store ``record`` atomically (tmp file + rename)."""
+        path = self._entry_path(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {"version": self.version, "spec": asdict(spec),
+               "record": record.to_json()}
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh)
+        os.replace(tmp, path)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry (all code versions); returns files removed."""
+        removed = 0
+        if os.path.isdir(self.root):
+            for name in os.listdir(self.root):
+                path = os.path.join(self.root, name)
+                if os.path.isdir(path):
+                    removed += sum(len(files) for _, _, files in os.walk(path))
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    os.remove(path)
+                    removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        """Entry counts and sizes, current version vs. stale versions."""
+        current = stale = total_bytes = 0
+        if os.path.isdir(self.root):
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for name in filenames:
+                    if not name.endswith(".json"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        total_bytes += os.path.getsize(path)
+                    except OSError:
+                        continue
+                    if os.path.basename(dirpath) == self.version:
+                        current += 1
+                    else:
+                        stale += 1
+        return {
+            "root": self.root,
+            "version": self.version,
+            "entries": current,
+            "stale_entries": stale,
+            "bytes": total_bytes,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }

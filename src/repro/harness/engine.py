@@ -1,0 +1,124 @@
+"""Parallel experiment execution engine.
+
+The paper's evaluation is dozens of independent, deterministic
+:class:`~repro.harness.runner.RunSpec` runs.  They share no state — every
+run builds a fresh guest program and VM — so the engine fans them out
+across cores with a :class:`~concurrent.futures.ProcessPoolExecutor` and
+collects results in input order, which (with a fixed seed per spec)
+makes parallel output bit-identical to serial output.
+
+Workers return portable :class:`~repro.harness.record.RunRecord` JSON;
+the parent installs each record into the runner's memo and the
+persistent disk cache, so a warmed engine leaves every later
+``measure()`` call a cache hit.
+
+Knobs:
+
+* ``jobs`` argument > ``REPRO_JOBS`` env > ``os.cpu_count()``;
+  ``jobs=1`` is the plain serial path (debugger-friendly: no
+  subprocesses at all),
+* ``trace_dir`` — when set, every worker builds a
+  :class:`~repro.telemetry.Telemetry` bundle for its run and exports a
+  per-run Chrome trace into the directory, preserving span export from
+  worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+from typing import Iterable, List, Optional
+
+from repro.harness import runner
+from repro.harness.diskcache import spec_key
+from repro.harness.record import RunRecord
+from repro.harness.runner import RunSpec
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_one(payload) -> dict:
+    """Worker entry point: simulate one spec, return its record as JSON.
+
+    Top-level (picklable) and self-contained: reconstructs the spec,
+    optionally attaches a fresh telemetry bundle, and exports the run's
+    spans before returning, so tracing survives process boundaries.
+    """
+    spec_dict, trace_dir = payload
+    spec = RunSpec(**spec_dict)
+    telemetry = None
+    if trace_dir:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    result = runner.execute(spec, telemetry=telemetry)
+    record = RunRecord.from_result(result)
+    if trace_dir:
+        from repro.telemetry.export import write_chrome_trace
+
+        path = os.path.join(
+            trace_dir, f"{spec.benchmark}-{spec_key(spec)[:10]}.json")
+        write_chrome_trace(path, telemetry.tracer, telemetry.metrics,
+                           dict(spec_dict))
+    return record.to_json()
+
+
+def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
+              trace_dir: Optional[str] = None) -> List[RunRecord]:
+    """Compute (or recall) records for ``specs``; results in input order.
+
+    Every unique uncached spec is simulated exactly once; duplicates and
+    cache hits are free.  The round trip through RunRecord JSON is the
+    same in the serial and parallel paths, so ``jobs`` can never change
+    a result — only how fast it arrives.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+
+    missing: List[RunSpec] = []
+    seen = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            if runner.cached_record(spec) is None:
+                missing.append(spec)
+
+    if missing:
+        payloads = [(asdict(spec), trace_dir) for spec in missing]
+        if jobs == 1 or len(missing) == 1:
+            docs = map(_run_one, payloads)
+        else:
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(missing)))
+            with pool:
+                # pool.map preserves input order: collection is
+                # deterministic no matter which worker finishes first.
+                docs = list(pool.map(_run_one, payloads))
+        for spec, doc in zip(missing, docs):
+            runner.store_record(spec, RunRecord.from_json(doc))
+
+    return [runner.record_for(spec) for spec in specs]
+
+
+def warm(specs: Iterable[RunSpec], jobs: Optional[int] = None,
+         trace_dir: Optional[str] = None) -> int:
+    """Precompute records for ``specs``; returns how many were missing.
+
+    After warming, serial harness code (``measure`` loops in the figure
+    drivers) does zero simulation work for these specs.
+    """
+    specs = list(specs)
+    uncached = sum(1 for spec in dict.fromkeys(specs)
+                   if runner.cached_record(spec) is None)
+    run_specs(specs, jobs=jobs, trace_dir=trace_dir)
+    return uncached

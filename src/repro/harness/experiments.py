@@ -18,12 +18,13 @@ Conventions (section 6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.harness.runner import RunSpec, execute, make_vm, measure
+from repro.harness import engine
+from repro.harness.runner import RunSpec, make_vm, measure
 from repro.jit.baseline import compile_baseline
-from repro.jit.maps import MapSizes, corpus_map_sizes, method_map_sizes
+from repro.jit.maps import MapSizes, method_map_sizes
 from repro.vm.program import Program
 from repro.workloads import suite
 from repro.workloads.patterns import add_filler_methods, make_app_class
@@ -33,6 +34,60 @@ HEAP_MULTS = (1.0, 1.5, 2.0, 3.0, 4.0)
 #: The sampling intervals of Figures 2 and 3 (paper names; scaled by
 #: INTERVAL_SCALE internally).
 INTERVALS = ("25K", "50K", "100K")
+
+
+# ---------------------------------------------------------------------------
+# Spec enumeration + parallel warm-up
+# ---------------------------------------------------------------------------
+
+def _expand_repeats(specs: List[RunSpec], repeats: int) -> List[RunSpec]:
+    """Mirror ``measure(spec, repeats)``'s per-seed expansion."""
+    if repeats <= 1:
+        return specs
+    return [spec if r == 0 else replace(spec, seed=spec.seed + r)
+            for spec in specs for r in range(repeats)]
+
+
+def _warm(specs: List[RunSpec], jobs: Optional[int],
+          repeats: int = 1) -> None:
+    """Precompute a figure's runs across cores before its serial loop.
+
+    With everything cached this costs a few dictionary lookups, so the
+    figure drivers call it unconditionally.
+    """
+    engine.warm(_expand_repeats(specs, repeats), jobs=jobs)
+
+
+def figure_specs(benchmarks: Optional[List[str]] = None,
+                 heap_mults: Tuple[float, ...] = HEAP_MULTS,
+                 intervals: Tuple[str, ...] = INTERVALS) -> List[RunSpec]:
+    """Every spec-keyed run the table/figure suite performs.
+
+    The union over Table 2 and Figures 2-8 (the intervened run of
+    Figure 8 is intrinsically uncacheable and excluded).  Warming these
+    once leaves the entire suite free of simulation work.
+    """
+    specs: List[RunSpec] = []
+    for name in benchmarks or suite.all_names():
+        for mult in heap_mults:
+            specs.append(RunSpec(benchmark=name, heap_mult=mult,
+                                 coalloc=False, monitoring=False))
+            specs.append(RunSpec(benchmark=name, heap_mult=mult,
+                                 coalloc=True, monitoring=True))
+        for interval in intervals + ("auto",):
+            specs.append(RunSpec(benchmark=name, heap_mult=4.0,
+                                 coalloc=False, monitoring=True,
+                                 interval=interval))
+        for interval in intervals:
+            specs.append(RunSpec(benchmark=name, heap_mult=4.0,
+                                 coalloc=True, monitoring=True,
+                                 interval=interval))
+    if "db" in (benchmarks or suite.all_names()):
+        for mult in heap_mults:
+            specs.append(RunSpec(benchmark="db", heap_mult=mult,
+                                 coalloc=False, monitoring=False,
+                                 gc_plan="gencopy"))
+    return specs
 
 
 # ---------------------------------------------------------------------------
@@ -111,15 +166,17 @@ def boot_image_growth() -> float:
     return sizes.mc_maps / base
 
 
-def table2(benchmarks: Optional[List[str]] = None) -> List[Table2Row]:
+def table2(benchmarks: Optional[List[str]] = None,
+           jobs: Optional[int] = None) -> List[Table2Row]:
     """Machine code / GC map / MC map sizes per benchmark + boot image."""
+    names = benchmarks or suite.all_names()
+    specs = [RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
+                     monitoring=False) for name in names]
+    _warm(specs, jobs)
     rows = []
-    for name in benchmarks or suite.all_names():
-        spec = RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
-                       monitoring=False)
+    for name, spec in zip(names, specs):
         result = measure(spec).result
-        sizes = corpus_map_sizes(result.vm.codecache.methods)
-        kb = sizes.kb()
+        kb = MapSizes(*result.map_sizes).kb()
         rows.append(Table2Row(name, kb[0], kb[1], kb[2]))
     boot = _boot_corpus_sizes().kb()
     rows.append(Table2Row("boot image", boot[0], boot[1], boot[2]))
@@ -139,11 +196,19 @@ class OverheadRow:
 
 def fig2_sampling_overhead(benchmarks: Optional[List[str]] = None,
                            intervals: Tuple[str, ...] = INTERVALS + ("auto",),
-                           repeats: int = 1) -> List[OverheadRow]:
+                           repeats: int = 1,
+                           jobs: Optional[int] = None) -> List[OverheadRow]:
     """Execution-time overhead of event sampling (no co-allocation),
     relative to the no-monitoring baseline, at heap = 4x min."""
+    names = benchmarks or suite.all_names()
+    _warm([RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
+                   monitoring=mon, interval=interval)
+           for name in names
+           for mon, interval in ([(False, "auto")]
+                                 + [(True, i) for i in intervals])],
+          jobs, repeats)
     rows = []
-    for name in benchmarks or suite.all_names():
+    for name in names:
         base = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
                                monitoring=False), repeats)
         overheads = {}
@@ -169,10 +234,14 @@ class CoallocRow:
 
 def fig3_coalloc_counts(benchmarks: Optional[List[str]] = None,
                         intervals: Tuple[str, ...] = INTERVALS,
-                        ) -> List[CoallocRow]:
+                        jobs: Optional[int] = None) -> List[CoallocRow]:
     """Co-allocated objects at different sampling intervals, heap = 4x."""
+    names = benchmarks or suite.all_names()
+    _warm([RunSpec(benchmark=name, heap_mult=4.0, coalloc=True,
+                   monitoring=True, interval=interval)
+           for name in names for interval in intervals], jobs)
     rows = []
-    for name in benchmarks or suite.all_names():
+    for name in names:
         counts = {}
         for interval in intervals:
             m = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=True,
@@ -201,10 +270,14 @@ class MissReductionRow:
 
 
 def fig4_l1_reduction(benchmarks: Optional[List[str]] = None,
-                      ) -> List[MissReductionRow]:
+                      jobs: Optional[int] = None) -> List[MissReductionRow]:
     """L1 miss reduction with co-allocation on, heap = 4x min."""
+    names = benchmarks or suite.all_names()
+    _warm([RunSpec(benchmark=name, heap_mult=4.0, coalloc=co,
+                   monitoring=co)
+           for name in names for co in (False, True)], jobs)
     rows = []
-    for name in benchmarks or suite.all_names():
+    for name in names:
         base = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=False,
                                monitoring=False))
         co = measure(RunSpec(benchmark=name, heap_mult=4.0, coalloc=True,
@@ -226,11 +299,17 @@ class ExecTimeRow:
 
 def fig5_exec_time(benchmarks: Optional[List[str]] = None,
                    heap_mults: Tuple[float, ...] = HEAP_MULTS,
-                   repeats: int = 1) -> List[ExecTimeRow]:
+                   repeats: int = 1,
+                   jobs: Optional[int] = None) -> List[ExecTimeRow]:
     """Execution time of the full system relative to the plain VM,
     heap sizes 1x..4x, auto-selected sampling interval."""
+    names = benchmarks or suite.all_names()
+    _warm([RunSpec(benchmark=name, heap_mult=mult, coalloc=co,
+                   monitoring=co)
+           for name in names for mult in heap_mults
+           for co in (False, True)], jobs, repeats)
     rows = []
-    for name in benchmarks or suite.all_names():
+    for name in names:
         normalized = {}
         for mult in heap_mults:
             base = measure(RunSpec(benchmark=name, heap_mult=mult,
@@ -259,8 +338,13 @@ class GCPlanComparison:
 
 def fig6_gencopy_vs_genms(benchmark: str = "db",
                           heap_mults: Tuple[float, ...] = HEAP_MULTS,
-                          ) -> GCPlanComparison:
+                          jobs: Optional[int] = None) -> GCPlanComparison:
     """db under GenMS, GenMS+co-allocation, and GenCopy (section 6.3)."""
+    _warm([RunSpec(benchmark=benchmark, heap_mult=mult, coalloc=co,
+                   monitoring=co, gc_plan=plan)
+           for mult in heap_mults
+           for co, plan in ((False, "genms"), (True, "genms"),
+                            (False, "gencopy"))], jobs)
     cycles: Dict[float, Dict[str, int]] = {}
     for mult in heap_mults:
         genms = measure(RunSpec(benchmark=benchmark, heap_mult=mult,
@@ -298,16 +382,15 @@ def fig7_db_timeline(benchmark: str = "db") -> TimelineResult:
     ``String::value`` while co-allocation is active."""
     result = measure(RunSpec(benchmark=benchmark, heap_mult=4.0,
                              coalloc=True, monitoring=True)).result
-    vm = result.vm
-    monitor = vm.controller.monitor
-    fld = vm.program.string_class.field("value")
-    per_period = monitor.series(fld)
+    name = suite.build(benchmark).program.string_class.field(
+        "value").qualified_name
+    per_period = result.series(name)
     return TimelineResult(
         benchmark=benchmark,
-        field_name=fld.qualified_name,
+        field_name=name,
         per_period=per_period,
-        cumulative=monitor.cumulative_series(fld),
-        moving_average=monitor.moving_average([n for _, n in per_period]),
+        cumulative=result.cumulative_series(name),
+        moving_average=result.moving_average([n for _, n in per_period]),
         coallocated=result.gc_stats.coallocated_objects,
     )
 

@@ -1,9 +1,21 @@
 """Benchmark runner: one entry point per (benchmark, configuration).
 
 The experiment figures share many configurations (Figure 4's large-heap
-runs are Figure 5's 4x points, ...), so results are memoized per
-process on the full configuration key.  Each run builds a *fresh*
-program (guest programs carry mutable static state).
+runs are Figure 5's 4x points, ...), so results are cached in layers:
+
+1. an in-process memo of :class:`Measurement` aggregates and per-seed
+   :class:`~repro.harness.record.RunRecord` results,
+2. a persistent on-disk cache (:mod:`repro.harness.diskcache`) keyed by
+   the spec plus a code-version hash, so re-running any figure across
+   processes or CI runs is near-instant,
+3. the simulator itself (:func:`execute`), which always runs fresh —
+   guest programs carry mutable static state, so each run builds a new
+   program.
+
+``measure`` traffics in portable :class:`RunRecord` results (no live VM
+reference), which is what lets the parallel scheduler in
+:mod:`repro.harness.engine` compute them in worker processes and the
+disk cache replay them without any simulation work.
 
 The paper reports timing as averages over 3 executions; the simulator
 is deterministic for a fixed seed, so repetition happens over seeds and
@@ -13,15 +25,22 @@ the reported deviation is across-seed.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import GCConfig, SystemConfig, scaled_interval
+from repro.harness import diskcache
+from repro.harness.record import RunRecord
 from repro.vm.vmcore import RunResult, VM, run_program
 from repro.workloads import suite
 
 #: Interval names accepted by the harness: the paper's three plus auto.
 INTERVAL_NAMES = ("25K", "50K", "100K", "auto")
+
+#: Simulations actually executed by this process (not served from any
+#: cache layer) — the counter the warm-cache "zero simulation work"
+#: assertions read.
+SIM_RUNS = 0
 
 
 @dataclass(frozen=True)
@@ -58,10 +77,10 @@ class Measurement:
     spec: RunSpec
     cycles_mean: float
     cycles_std: float
-    results: List[RunResult] = field(repr=False, default_factory=list)
+    results: List[RunRecord] = field(repr=False, default_factory=list)
 
     @property
-    def result(self) -> RunResult:
+    def result(self) -> RunRecord:
         """The first repetition (used for counters and GC statistics —
         identical across seeds except for sampling jitter)."""
         return self.results[0]
@@ -76,6 +95,25 @@ class Measurement:
 
 
 _CACHE: Dict[RunSpec, Measurement] = {}
+_RECORDS: Dict[RunSpec, RunRecord] = {}
+_DISK: Optional[diskcache.DiskCache] = None
+_DISK_RESOLVED = False
+
+
+def _disk() -> Optional[diskcache.DiskCache]:
+    """The process-wide disk cache (None when disabled via env)."""
+    global _DISK, _DISK_RESOLVED
+    if not _DISK_RESOLVED:
+        _DISK = diskcache.DiskCache() if diskcache.cache_enabled() else None
+        _DISK_RESOLVED = True
+    return _DISK
+
+
+def set_disk_cache(cache: Optional[diskcache.DiskCache]) -> None:
+    """Inject (or disable, with None) the persistent cache layer."""
+    global _DISK, _DISK_RESOLVED
+    _DISK = cache
+    _DISK_RESOLVED = True
 
 
 def execute(spec: RunSpec, telemetry=None) -> RunResult:
@@ -85,8 +123,10 @@ def execute(spec: RunSpec, telemetry=None) -> RunResult:
     frozen spec, so it cannot pollute the memoization key used by
     :func:`measure`.
     """
+    global SIM_RUNS
     if spec.interval not in INTERVAL_NAMES:
         raise ValueError(f"unknown interval {spec.interval!r}")
+    SIM_RUNS += 1
     workload = suite.build(spec.benchmark)
     config = spec.system_config(workload.min_heap_bytes)
     if telemetry is not None:
@@ -94,27 +134,66 @@ def execute(spec: RunSpec, telemetry=None) -> RunResult:
     return run_program(workload.program, config, compilation_plan=workload.plan)
 
 
+def cached_record(spec: RunSpec) -> Optional[RunRecord]:
+    """Look ``spec`` up in the memo and disk layers without computing."""
+    record = _RECORDS.get(spec)
+    if record is None:
+        disk = _disk()
+        if disk is not None:
+            record = disk.get(spec)
+            if record is not None:
+                _RECORDS[spec] = record
+    return record
+
+
+def store_record(spec: RunSpec, record: RunRecord) -> None:
+    """Install a computed record in the memo and disk layers."""
+    _RECORDS[spec] = record
+    disk = _disk()
+    if disk is not None:
+        disk.put(spec, record)
+
+
+def record_for(spec: RunSpec) -> RunRecord:
+    """One spec's portable result: memo -> disk -> simulate."""
+    record = cached_record(spec)
+    if record is None:
+        record = RunRecord.from_result(execute(spec))
+        store_record(spec, record)
+    return record
+
+
 def measure(spec: RunSpec, repeats: int = 1) -> Measurement:
-    """Run (memoized) with ``repeats`` seeds; aggregate cycle counts."""
+    """Run (cached) with ``repeats`` seeds; aggregate cycle counts.
+
+    Each repetition seed is cached independently, so raising ``repeats``
+    only computes the seeds not already measured.
+    """
     cached = _CACHE.get(spec)
     if cached is not None and len(cached.results) >= repeats:
         return cached
-    results = [execute(spec if r == 0 else
-                       RunSpec(**{**spec.__dict__, "seed": spec.seed + r}))
+    records = [record_for(spec if r == 0 else
+                          replace(spec, seed=spec.seed + r))
                for r in range(repeats)]
-    cycles = [r.cycles for r in results]
+    cycles = [r.cycles for r in records]
     measurement = Measurement(
         spec=spec,
         cycles_mean=statistics.fmean(cycles),
         cycles_std=statistics.pstdev(cycles) if len(cycles) > 1 else 0.0,
-        results=results,
+        results=records,
     )
     _CACHE[spec] = measurement
     return measurement
 
 
-def clear_cache() -> None:
+def clear_cache(disk: bool = False) -> None:
+    """Drop the in-process memo; with ``disk=True`` also the disk layer."""
     _CACHE.clear()
+    _RECORDS.clear()
+    if disk:
+        layer = _disk()
+        if layer is not None:
+            layer.clear()
 
 
 def make_vm(benchmark: str, spec: Optional[RunSpec] = None,

@@ -41,7 +41,9 @@ class MemorySystem:
         # PEBS hook: set via arm_event().
         self._armed_event: Optional[str] = None
         self._pebs_hook: Optional[Callable[[int], None]] = None
-        # Fast-path state.
+        # Fast-path state: geometry, latencies, and bound callees hoisted
+        # once so the per-access path never chases ``self.config.*`` or
+        # rebinds methods (configs are fixed after construction).
         self._l1_shift = self.l1.line_shift
         self._l1_sets = self.l1._sets
         self._l1_mask = self.l1.set_mask
@@ -49,6 +51,13 @@ class MemorySystem:
         self._l2_shift = self.l2.line_shift
         self._page_shift = self.tlb.page_shift
         self._last_page = -1
+        self._l1_hit_latency = config.l1.hit_latency
+        self._l2_hit_latency = config.l2.hit_latency
+        self._memory_latency = config.memory_latency
+        self._tlb_penalty = config.tlb.miss_penalty
+        self._tlb_access_page = self.tlb.access_page
+        self._l2_access_line = self.l2.access_line
+        self._observe_miss = self.prefetcher.observe_miss
         # Raw event tallies (folded into ``counters`` by sync_counters).
         self.n_loads = 0
         self.n_stores = 0
@@ -73,7 +82,6 @@ class MemorySystem:
 
     def access(self, addr: int, is_write: bool, eip: int) -> int:
         """Perform one data access; return its latency in cycles."""
-        cfg = self.config
         if is_write:
             self.n_stores += 1
         else:
@@ -86,43 +94,47 @@ class MemorySystem:
         # of the last-touched page can only happen after a page change).
         page = addr >> self._page_shift
         if page != self._last_page:
-            if not self.tlb.access(addr):
+            if not self._tlb_access_page(page):
                 self.n_dtlb_miss += 1
-                latency = cfg.tlb.miss_penalty
+                latency = self._tlb_penalty
                 if self._armed_event == "DTLB_MISS":
                     self._pebs_hook(eip)
             self._last_page = page
 
-        # L1 data cache (inlined probe, MRU-first).
+        # L1 data cache (inlined probe, MRU-first, single scan).
         line = addr >> self._l1_shift
         ways = self._l1_sets[line & self._l1_mask]
         if ways:
             if ways[0] == line:
-                return latency + cfg.l1.hit_latency
-            if line in ways:
-                ways.remove(line)
+                return latency + self._l1_hit_latency
+            try:
+                idx = ways.index(line, 1)
+            except ValueError:
+                pass
+            else:
+                del ways[idx]
                 ways.insert(0, line)
-                return latency + cfg.l1.hit_latency
+                return latency + self._l1_hit_latency
         self.n_l1_miss += 1
         ways.insert(0, line)
         if len(ways) > self._l1_ways:
             ways.pop()
         if self._armed_event == "L1D_MISS":
             self._pebs_hook(eip)
-        latency += cfg.l1.hit_latency
+        latency += self._l1_hit_latency
 
         # L2 unified cache.
         self.n_l2_access += 1
         l2_line = addr >> self._l2_shift
-        if self.l2.access_line(l2_line):
-            return latency + cfg.l2.hit_latency
+        if self._l2_access_line(l2_line):
+            return latency + self._l2_hit_latency
         self.n_l2_miss += 1
         if self._armed_event == "L2_MISS":
             self._pebs_hook(eip)
-        latency += cfg.l2.hit_latency + cfg.memory_latency
+        latency += self._l2_hit_latency + self._memory_latency
 
         # Miss-stream prefetching into L2.
-        prefetched = self.prefetcher.observe_miss(l2_line)
+        prefetched = self._observe_miss(l2_line)
         if prefetched:
             self.n_prefetch += prefetched
         return latency

@@ -35,7 +35,12 @@ class TLB:
 
     def access(self, addr: int) -> bool:
         """Translate ``addr``; return True on TLB hit."""
-        page = addr >> self.page_shift
+        return self.access_page(addr >> self.page_shift)
+
+    def access_page(self, page: int) -> bool:
+        """Translate an already-shifted page number (hot-path entry:
+        the memory system computes the page once for its same-page
+        shortcut and passes it through)."""
         pages = self._pages
         if page in pages:
             pages.move_to_end(page)

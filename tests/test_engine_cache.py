@@ -1,0 +1,202 @@
+"""The parallel engine and the persistent result cache.
+
+The contract under test: ``jobs`` and the cache layers can change how
+fast a result arrives, never what it is.  Records computed in worker
+processes, recalled from disk, or replayed across simulated "processes"
+must compare equal field-for-field to ones computed inline — and a
+warmed cache must leave the harness doing zero simulation work.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import engine, runner
+from repro.harness.diskcache import DiskCache, code_version, spec_key
+from repro.harness.record import RunRecord, SCHEMA_VERSION
+from repro.harness.runner import RunSpec, measure
+
+
+CHEAP = RunSpec(benchmark="fop", heap_mult=1.0, coalloc=False,
+                monitoring=False)
+CHEAP2 = RunSpec(benchmark="fop", heap_mult=2.0, coalloc=False,
+                 monitoring=False)
+MONITORED = RunSpec(benchmark="fop", heap_mult=2.0, coalloc=True,
+                    monitoring=True)
+
+
+@pytest.fixture()
+def disk(tmp_path):
+    """A real DiskCache against a temp root, injected into the runner."""
+    cache = DiskCache(root=str(tmp_path), version="v-test")
+    runner.clear_cache()
+    runner.set_disk_cache(cache)
+    yield cache
+    runner.set_disk_cache(None)
+    runner.clear_cache()
+
+
+def sim_runs():
+    return runner.SIM_RUNS
+
+
+# ---------------------------------------------------------------------------
+# RunRecord portability
+# ---------------------------------------------------------------------------
+
+class TestRunRecord:
+    def test_json_round_trip_is_lossless(self):
+        record = runner.record_for(MONITORED)
+        clone = RunRecord.from_json(record.to_json())
+        assert clone == record
+        # A second hop through an actual JSON string too.
+        clone2 = RunRecord.from_json(json.loads(json.dumps(record.to_json())))
+        assert clone2 == record
+
+    def test_record_carries_derived_surfaces(self):
+        record = runner.record_for(MONITORED)
+        assert record.cycles > 0
+        assert record.map_sizes[0] > 0, "machine-code size extracted"
+        assert record.field_series, "per-field series extracted"
+        name = next(iter(record.field_series))
+        cumulative = record.cumulative_series(name)
+        assert cumulative[-1][1] == sum(n for _, n in record.series(name))
+        assert record.reverted_experiments == []
+
+    def test_foreign_schema_rejected(self):
+        record = runner.record_for(CHEAP)
+        doc = record.to_json()
+        doc["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            RunRecord.from_json(doc)
+
+
+# ---------------------------------------------------------------------------
+# Disk cache layer
+# ---------------------------------------------------------------------------
+
+class TestDiskCache:
+    def test_miss_then_hit(self, disk):
+        assert disk.get(CHEAP) is None
+        record = runner.record_for(CHEAP)  # computes + stores
+        loaded = disk.get(CHEAP)
+        assert loaded == record
+        # Two misses: the probe above plus record_for's own lookup.
+        assert disk.misses == 2 and disk.hits >= 1
+
+    def test_warm_cache_means_zero_simulation_work(self, disk):
+        runner.record_for(CHEAP)
+        runner.clear_cache()  # drop the memo, keep the disk layer
+        before = sim_runs()
+        replay = runner.record_for(CHEAP)
+        assert sim_runs() == before, "disk hit must not simulate"
+        assert replay.cycles > 0
+
+    def test_version_change_invalidates(self, disk, tmp_path):
+        record = runner.record_for(CHEAP)
+        other = DiskCache(root=str(tmp_path), version="v-other")
+        assert other.get(CHEAP) is None, "new code version sees no entries"
+        assert disk.get(CHEAP) == record, "old version's entry intact"
+        assert other.stats()["stale_entries"] >= 1
+
+    def test_corrupt_entry_recomputed_not_trusted(self, disk, tmp_path):
+        runner.record_for(CHEAP)
+        runner.clear_cache()
+        path = os.path.join(str(tmp_path), "v-test",
+                            spec_key(CHEAP) + ".json")
+        with open(path, "w") as fh:
+            fh.write('{"version": "v-test", "record": {"cyc')  # torn write
+        assert disk.get(CHEAP) is None
+        assert not os.path.exists(path), "corrupt entry swept"
+        before = sim_runs()
+        record = runner.record_for(CHEAP)
+        assert sim_runs() == before + 1, "recomputed, not trusted"
+        assert record.cycles > 0
+
+    def test_clear_and_stats(self, disk):
+        runner.record_for(CHEAP)
+        runner.record_for(CHEAP2)
+        stats = disk.stats()
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+        removed = disk.clear()
+        assert removed == 2
+        assert disk.stats()["entries"] == 0
+
+    def test_runner_clear_cache_disk_flag(self, disk):
+        runner.record_for(CHEAP)
+        runner.clear_cache()  # memo only: disk entry survives
+        assert disk.stats()["entries"] == 1
+        runner.clear_cache(disk=True)
+        assert disk.stats()["entries"] == 0
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_spec_key_distinguishes_specs(self):
+        assert spec_key(CHEAP) != spec_key(CHEAP2)
+        assert spec_key(CHEAP) == spec_key(RunSpec(**{
+            "benchmark": "fop", "heap_mult": 1.0,
+            "coalloc": False, "monitoring": False}))
+
+
+# ---------------------------------------------------------------------------
+# Parallel engine
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_resolve_jobs_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert engine.resolve_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert engine.resolve_jobs() == 5
+        assert engine.resolve_jobs(2) == 2, "explicit arg beats env"
+        monkeypatch.delenv("REPRO_JOBS")
+        assert engine.resolve_jobs() == (os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            engine.resolve_jobs(0)
+
+    def test_parallel_equals_serial(self, disk):
+        """The acceptance equality: records from worker processes are
+        bit-identical (as JSON) to records computed inline."""
+        specs = [CHEAP, CHEAP2]
+        serial = [r.to_json() for r in engine.run_specs(specs, jobs=1)]
+        runner.clear_cache(disk=True)  # force full recompute
+        parallel = [r.to_json() for r in engine.run_specs(specs, jobs=2)]
+        assert parallel == serial
+
+    def test_run_specs_preserves_order_and_dedupes(self, disk):
+        specs = [CHEAP2, CHEAP, CHEAP2]  # duplicate, out of key order
+        before = sim_runs()
+        records = engine.run_specs(specs, jobs=1)
+        assert sim_runs() == before + 2, "duplicate simulated once"
+        assert records[0] is records[2]
+        assert [r.cycles for r in records] == [records[0].cycles,
+                                               records[1].cycles,
+                                               records[0].cycles]
+
+    def test_warm_then_measure_is_pure_cache(self, disk):
+        missing = engine.warm([CHEAP, CHEAP2], jobs=1)
+        assert missing == 2
+        before = sim_runs()
+        m1 = measure(CHEAP)
+        m2 = measure(CHEAP2)
+        assert sim_runs() == before, "warmed measure() does no simulation"
+        assert m1.cycles_mean > 0 and m2.cycles_mean > 0
+        assert engine.warm([CHEAP, CHEAP2], jobs=1) == 0
+
+    def test_parallel_results_cached_to_disk(self, disk):
+        engine.run_specs([CHEAP, CHEAP2], jobs=2)
+        assert disk.stats()["entries"] == 2, \
+            "worker results land in the parent's disk cache"
+
+    def test_measure_repeats_reuse_cached_seeds(self, disk):
+        before = sim_runs()
+        measure(CHEAP, repeats=2)
+        assert sim_runs() == before + 2
+        m = measure(CHEAP, repeats=3)
+        assert sim_runs() == before + 3, "only the new seed is simulated"
+        assert len(m.results) == 3
+        cycles = {r.cycles for r in m.results}
+        assert len(cycles) >= 1  # seeds may or may not perturb cycles
