@@ -81,7 +81,8 @@ def cmd_run(args) -> None:
 
     spec = _run_spec(args)
     telemetry = Telemetry() if (args.trace or args.metrics) else None
-    result = execute(spec, telemetry=telemetry)
+    result = execute(spec, telemetry=telemetry,
+                     fastpath=False if args.no_fastpath else None)
     print(f"benchmark            : {result.program}")
     print(f"cycles               : {result.cycles:,}")
     print(f"instructions         : {result.instructions:,}")
@@ -120,7 +121,8 @@ def cmd_timeline(args) -> None:
     from repro.telemetry.export import format_timeline
 
     telemetry = Telemetry()
-    result = execute(_run_spec(args), telemetry=telemetry)
+    result = execute(_run_spec(args), telemetry=telemetry,
+                     fastpath=False if args.no_fastpath else None)
     print(format_timeline(telemetry.tracer, total_cycles=result.cycles,
                           width=args.width))
 
@@ -253,6 +255,9 @@ def main(argv: Optional[List[str]] = None) -> None:
         p.add_argument("--event", default="L1D_MISS",
                        choices=["L1D_MISS", "L2_MISS", "DTLB_MISS"])
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--no-fastpath", action="store_true",
+                       help="run the reference interpreter instead of the "
+                            "translated fast path (same results, slower)")
 
     run_p = sub.add_parser("run", help="run one benchmark")
     add_run_options(run_p)

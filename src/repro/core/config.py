@@ -14,6 +14,7 @@ sampling intervals have their low 8 bits randomized.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 
@@ -27,6 +28,22 @@ INTERVAL_SCALE = 100
 #: The paper's headline sampling intervals (Figure 2 / Figure 3), expressed
 #: in events between samples *before* scaling.
 PAPER_INTERVALS = {"25K": 25_000, "50K": 50_000, "100K": 100_000}
+
+
+def fastpath_enabled(setting: "bool | None" = None) -> bool:
+    """Resolve the translated-interpreter knob.
+
+    An explicit ``setting`` (``SystemConfig.fastpath``) wins; otherwise
+    the ``REPRO_FASTPATH`` environment variable decides, defaulting to
+    on.  The knob selects *how* guest code is executed, never *what* it
+    computes: both interpreters are bit-identical (cycles, instructions,
+    every event counter), which is why the knob is deliberately absent
+    from :class:`~repro.harness.runner.RunSpec` and therefore from the
+    disk-cache key.
+    """
+    if setting is not None:
+        return bool(setting)
+    return os.environ.get("REPRO_FASTPATH", "1") != "0"
 
 
 def scaled_interval(name: str) -> int:
@@ -269,6 +286,11 @@ class SystemConfig:
     method_profiling: bool = False
     #: GC plan: "genms" (paper) or "gencopy" (Figure 6 comparator).
     gc_plan: str = "genms"
+    #: Guest-code execution strategy: ``True`` forces the translated
+    #: (closure-threaded) interpreter, ``False`` the reference if/elif
+    #: interpreter, ``None`` (default) defers to ``REPRO_FASTPATH``.
+    #: Both produce bit-identical results; see :func:`fastpath_enabled`.
+    fastpath: "bool | None" = None
     #: Seed for all randomized components.
     seed: int = 42
     #: Optional :class:`repro.telemetry.Telemetry` instance.  ``None``

@@ -14,17 +14,29 @@ machine-code maps piggyback on.
 
 Implementation note: the interpreter loop accumulates cycles and
 instruction counts in locals and flushes them to ``self.cycles`` /
-``self.instructions`` at scheduler-quantum boundaries and frame
-switches.  Reentrant charges (PEBS microcode costs arriving through
-``charge`` *during* a memory access) remain correct because cycle
-accounting is purely additive.
+``self.instructions`` at scheduler-quantum boundaries, GC points, and
+frame switches.  Reentrant charges (PEBS microcode costs arriving
+through ``charge`` *during* a memory access) remain correct because
+cycle accounting is purely additive.
+
+Two interpreters execute the same compiled code:
+
+* the **reference** interpreter (:meth:`CPU._run_reference`) — the
+  ``if/elif`` dispatch chain below, kept as the differential oracle,
+* the **translated** fastpath (:meth:`CPU._run_translated`) — threaded
+  dispatch through per-instruction closures built once per method by
+  :mod:`repro.hw.translate`.
+
+They are bit-identical in every observable (cycles, instructions,
+memory-access order, scheduler polls, faults); ``REPRO_FASTPATH=0`` or
+``SystemConfig.fastpath=False`` selects the reference loop.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.config import MachineConfig
+from repro.core.config import MachineConfig, fastpath_enabled
 from repro.gc import layout
 from repro.hw.isa import (
     GuestError,
@@ -33,6 +45,7 @@ from repro.hw.isa import (
     M_NOP, M_NULLCHK, M_PUTF, M_PUTSTATIC, M_RET, M_STF,
 )
 from repro.hw.memsys import MemorySystem
+from repro.hw.translate import CALL_SENT, RET_SENT, translation_for
 from repro.vm.objects import HeapArray, HeapObject
 
 #: Stack-memory bytes reserved per frame (locals + operand stack).
@@ -50,7 +63,7 @@ SCHED_QUANTUM = 128
 class Frame:
     """One activation record."""
 
-    __slots__ = ("cm", "pc", "regs", "slots", "base", "ret_reg")
+    __slots__ = ("cm", "pc", "regs", "slots", "base")
 
     def __init__(self, cm, base: int):
         self.cm = cm
@@ -76,7 +89,7 @@ class CPU:
     """
 
     def __init__(self, config: MachineConfig, mem: MemorySystem, runtime,
-                 scheduler=None):
+                 scheduler=None, fastpath: Optional[bool] = None):
         self.config = config
         self.mem = mem
         self.runtime = runtime
@@ -86,6 +99,18 @@ class CPU:
         self.instructions = 0
         self.exit_value = None
         self.calls = 0
+        #: Execute through translated closures (the default) or the
+        #: reference if/elif interpreter (``REPRO_FASTPATH=0``).
+        self.fastpath = fastpath_enabled(fastpath)
+        #: Shared latency accumulator the translated handlers add memory
+        #: and allocation cycles into; the fastpath driver folds it into
+        #: ``self.cycles`` at the same flush points as the reference loop.
+        self._cyc_cell = [0]
+        # Sentinel mailboxes: call/return handlers stash their operands
+        # here for the fastpath driver (see repro.hw.translate).
+        self._call_target = None
+        self._call_args = None
+        self._ret_value = None
         #: Optional software method profiler (repro.core.counting) invoked
         #: at every call/return boundary — the instrumentation-based
         #: alternative the paper's sampling approach is compared against.
@@ -139,6 +164,119 @@ class CPU:
 
     def run(self, until_cycles: Optional[int] = None) -> None:
         """Run until the call stack empties (or a cycle deadline passes)."""
+        if self.fastpath:
+            self._run_translated(until_cycles)
+        else:
+            self._run_reference(until_cycles)
+
+    def _run_translated(self, until_cycles: Optional[int] = None) -> None:
+        """Threaded dispatch through per-method closure tables.
+
+        The driver mirrors :meth:`_run_reference` exactly: ``n`` counts
+        instructions locally (base cycles are ``n * instruction_cost``,
+        since every instruction costs the same), memory latencies arrive
+        through ``self._cyc_cell``, and both are flushed to
+        ``self.cycles`` / ``self.instructions`` at scheduler-quantum
+        boundaries, GC points, and frame switches — the points where the
+        scheduler, the GC, and the profiler observe the clock.
+        """
+        icost = self.config.instruction_cost
+        runtime = self.runtime
+        scheduler = self.scheduler
+        frames = self.frames
+        cell = self._cyc_cell
+        cell[0] = 0
+        budget = SCHED_QUANTUM
+
+        while frames:
+            frame = frames[-1]
+            cm = frame.cm
+            translation = translation_for(cm, self)
+            handlers = translation.handlers
+            phase2 = translation.phase2
+            regs = frame.regs
+            slots = frame.slots
+            pc = frame.pc
+            switch = False
+            n = 0     # local instruction delta
+
+            while not switch:
+                n += 1
+                next_pc = handlers[pc](frame, regs, slots)
+                if next_pc >= 0:
+                    pc = next_pc
+                elif next_pc == CALL_SENT:
+                    # The handler anchored frame.pc, charged any vtable
+                    # header access, and stashed the target and args.
+                    self.cycles += cell[0] + n * icost + CALL_OVERHEAD
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    target = self._call_target
+                    args = self._call_args
+                    self._call_target = None
+                    self._call_args = None
+                    callee = runtime.compiled_code_for(target)
+                    if self.profiler is not None:
+                        self.profiler.on_call(target, self.cycles)
+                    self.calls += 1
+                    self._push_frame(callee, args)
+                    switch = True
+                elif next_pc == RET_SENT:
+                    value = self._ret_value
+                    self._ret_value = None
+                    self.cycles += cell[0] + n * icost
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    if self.profiler is not None:
+                        self.profiler.on_return(self.cycles)
+                    frames.pop()
+                    if frames:
+                        caller = frames[-1]
+                        call_inst = caller.cm.code[caller.pc]
+                        if call_inst.rd is not None:
+                            caller.regs[call_inst.rd] = value
+                        caller.pc += 1
+                    else:
+                        self.exit_value = value
+                    switch = True
+                else:
+                    # Allocation (GC point): flush, then run phase 2 so
+                    # a collection sees a consistent clock and roots.
+                    pc = ~next_pc
+                    self.cycles += cell[0] + n * icost
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    alloc_cost = phase2[pc](regs)
+                    cell[0] += alloc_cost
+                    pc += 1
+
+                budget -= 1
+                if budget <= 0:
+                    budget = SCHED_QUANTUM
+                    self.cycles += cell[0] + n * icost
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    if scheduler is not None:
+                        next_time = scheduler.next_time
+                        if next_time is not None and next_time <= self.cycles:
+                            frame.pc = pc
+                            scheduler.run_due(self.cycles)
+                    if until_cycles is not None and self.cycles >= until_cycles:
+                        frame.pc = pc
+                        self.sync_counters()
+                        return
+            if cell[0] or n:
+                self.cycles += cell[0] + n * icost
+                self.instructions += n
+                cell[0] = 0
+        self.sync_counters()
+
+    def _run_reference(self, until_cycles: Optional[int] = None) -> None:
+        """The reference if/elif interpreter (the differential oracle)."""
         mem_access = self.mem.access
         icost = self.config.instruction_cost
         runtime = self.runtime
@@ -375,7 +513,9 @@ class CPU:
                 elif op == m_new:
                     frame.pc = pc  # GC point
                     self.cycles += cyc
+                    self.instructions += n
                     cyc = 0
+                    n = 0
                     regs[inst.rd] = runtime.plan.alloc_object(inst.aux)
                     cyc += runtime.plan.config.alloc_cost
                     pc += 1
@@ -385,7 +525,9 @@ class CPU:
                     if length < 0:
                         raise GuestError("negative array size", cm.method, pc)
                     self.cycles += cyc
+                    self.instructions += n
                     cyc = 0
+                    n = 0
                     regs[inst.rd] = runtime.plan.alloc_array(inst.aux, length)
                     cyc += runtime.plan.config.alloc_cost
                     pc += 1

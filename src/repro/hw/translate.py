@@ -1,0 +1,747 @@
+"""One-time translation of compiled guest code into Python closures.
+
+The reference interpreter in :mod:`repro.hw.cpu` pays a ~20-way
+``if/elif`` dispatch chain — plus string compares on ``inst.aux`` and
+attribute loads on the :class:`~repro.hw.isa.MInst` — for every
+simulated instruction.  All of that work depends only on values that
+are *constant once a method is compiled*: the opcode, the register
+numbers, the field offset, the branch target, the ALU operation, and
+the instruction's EIP (``code_addr + pc * 4``).
+
+This module resolves all of it exactly once per
+:class:`~repro.jit.codecache.CompiledMethod`: :func:`translate` maps
+each instruction to a specialized closure (a "template" instantiated
+with the operands baked in as default arguments, which CPython loads as
+fast locals), and execution becomes threaded dispatch —
+``pc = handlers[pc](frame, regs, slots)`` — with zero per-step operand
+decoding.  It is a template JIT for the simulator's own hot loop, the
+same once-against-the-profile-stable-operands trade the paper's online
+optimizations make for the guest program.
+
+Bit-identical contract
+----------------------
+The translated code must be indistinguishable from the reference
+interpreter in every observable: cycle and instruction counts at every
+flush point, the order and addresses of all memory accesses (and hence
+cache state, event counters, and PEBS samples), scheduler-poll timing,
+GC-point ``frame.pc`` anchoring, profiler callbacks, and the text of
+guest faults.  Three conventions make that cheap to maintain:
+
+* Every instruction costs exactly ``instruction_cost``, so handlers do
+  not account base cycles at all — the driver reconstructs them at
+  flush points as ``n * instruction_cost`` from its local instruction
+  count.  Only memory latencies and allocation costs flow through a
+  shared one-slot accumulator (``cpu._cyc_cell``).
+* Handlers return the next pc.  Control transfers the driver must
+  observe (because they flush counts or switch frames) return sentinels
+  instead: :data:`CALL_SENT` / :data:`RET_SENT` after stashing their
+  operands on the CPU, and allocations return ``~pc`` so the driver can
+  flush *before* running the second phase from :attr:`Translation.phase2`
+  (collection may only happen there).
+* Anything that is **not** constant after compilation stays a runtime
+  lookup, exactly as in the reference: ``arr.esize`` / ``arr.kind``,
+  vtable dispatch through the receiver, and ``static_addr`` (whose
+  lazy base assignment depends on first-touch order).
+
+Translations close over the CPU's bound services, so they are cached
+per ``(CompiledMethod, CPU)`` and rebuilt if either changes; the code
+cache drops them when a method is recompiled (see
+:meth:`~repro.jit.codecache.CodeCache.note_replaced`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.hw.isa import (
+    GuestError, INSTRUCTION_BYTES,
+    M_ALOAD, M_ALU, M_ALUI, M_ASTORE, M_BC, M_BR, M_CALL, M_CALLV,
+    M_GETF, M_GETSTATIC, M_LDF, M_LEN, M_MOV, M_MOVI, M_NEW, M_NEWARR,
+    M_NOP, M_NULLCHK, M_PUTF, M_PUTSTATIC, M_RET, M_STF,
+)
+
+#: Sentinel returned by call handlers (target/args stashed on the CPU).
+CALL_SENT = -(1 << 30)
+#: Sentinel returned by return handlers (value stashed on the CPU).
+RET_SENT = CALL_SENT - 1
+# Allocations return ``~pc`` (always in [-len(code), -1], far from the
+# sentinels above) so the driver can recover the pc with another ``~``.
+
+#: A translated instruction: ``(frame, regs, slots) -> next pc``.
+Handler = Callable[..., int]
+
+
+class Translation:
+    """The compiled form of one method for one CPU."""
+
+    __slots__ = ("cpu", "handlers", "phase2")
+
+    def __init__(self, cpu, handlers: List[Handler],
+                 phase2: Dict[int, Callable]):
+        self.cpu = cpu
+        self.handlers = handlers
+        self.phase2 = phase2
+
+
+def translation_for(cm, cpu) -> Translation:
+    """The cached translation of ``cm``, built on first use."""
+    tr = cm.translation
+    if tr is None or tr.cpu is not cpu:
+        tr = translate(cm, cpu)
+        cm.translation = tr
+    return tr
+
+
+# ---------------------------------------------------------------------------
+# Handler templates.  Operands arrive as default arguments so the inner
+# function reads them as fast locals; the bodies replicate the reference
+# interpreter's per-opcode semantics (including fault messages and the
+# order of null/bounds checks relative to memory accesses) exactly.
+# ---------------------------------------------------------------------------
+
+def _h_movi(rd, imm, npc):
+    def h(frame, regs, slots, rd=rd, imm=imm, npc=npc):
+        regs[rd] = imm
+        return npc
+    return h
+
+
+def _h_mov(rd, rs1, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, npc=npc):
+        regs[rd] = regs[rs1]
+        return npc
+    return h
+
+
+def _h_nop(npc):
+    def h(frame, regs, slots, npc=npc):
+        return npc
+    return h
+
+
+def _h_bad(message, method, pc):
+    def h(frame, regs, slots, message=message, method=method, pc=pc):
+        raise GuestError(message, method, pc)
+    return h
+
+
+# -- ALU (register/register) ------------------------------------------------
+
+def _h_alu_add(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = regs[rs1] + regs[rs2]
+        return npc
+    return h
+
+
+def _h_alu_sub(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = regs[rs1] - regs[rs2]
+        return npc
+    return h
+
+
+def _h_alu_mul(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = regs[rs1] * regs[rs2]
+        return npc
+    return h
+
+
+def _h_alu_and(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = regs[rs1] & regs[rs2]
+        return npc
+    return h
+
+
+def _h_alu_xor(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = regs[rs1] ^ regs[rs2]
+        return npc
+    return h
+
+
+def _h_alu_or(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = regs[rs1] | regs[rs2]
+        return npc
+    return h
+
+
+def _h_alu_shl(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & 0xFFFFFFFF
+        return npc
+    return h
+
+
+def _h_alu_shr(rd, rs1, rs2, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc):
+        regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+        return npc
+    return h
+
+
+def _h_alu_divrem(rd, rs1, rs2, npc, method, pc, rem):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, rs2=rs2, npc=npc,
+          method=method, pc=pc, rem=rem):
+        a = regs[rs1]
+        b = regs[rs2]
+        if b == 0:
+            raise GuestError("division by zero", method, pc)
+        q = abs(a) // abs(b)
+        if (a >= 0) != (b >= 0):
+            q = -q
+        regs[rd] = a - q * b if rem else q
+        return npc
+    return h
+
+
+_ALU_FACTORIES = {
+    "add": _h_alu_add, "sub": _h_alu_sub, "mul": _h_alu_mul,
+    "and": _h_alu_and, "xor": _h_alu_xor, "or": _h_alu_or,
+    "shl": _h_alu_shl, "shr": _h_alu_shr,
+}
+
+
+# -- ALU (register/immediate) -----------------------------------------------
+
+def _h_alui_add(rd, rs1, imm, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, imm=imm, npc=npc):
+        regs[rd] = regs[rs1] + imm
+        return npc
+    return h
+
+
+def _h_alui_sub(rd, rs1, imm, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, imm=imm, npc=npc):
+        regs[rd] = regs[rs1] - imm
+        return npc
+    return h
+
+
+def _h_alui_mul(rd, rs1, imm, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, imm=imm, npc=npc):
+        regs[rd] = regs[rs1] * imm
+        return npc
+    return h
+
+
+def _h_alui_and(rd, rs1, imm, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, imm=imm, npc=npc):
+        regs[rd] = regs[rs1] & imm
+        return npc
+    return h
+
+
+def _h_alui_shl(rd, rs1, imm, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, sh=imm & 31, npc=npc):
+        regs[rd] = (regs[rs1] << sh) & 0xFFFFFFFF
+        return npc
+    return h
+
+
+def _h_alui_shr(rd, rs1, imm, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, sh=imm & 31, npc=npc):
+        regs[rd] = regs[rs1] >> sh
+        return npc
+    return h
+
+
+def _h_alui_neg(rd, rs1, imm, npc):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, npc=npc):
+        regs[rd] = -regs[rs1]
+        return npc
+    return h
+
+
+def _h_alui_divrem(rd, rs1, imm, npc, method, pc, rem):
+    def h(frame, regs, slots, rd=rd, rs1=rs1, b=imm, npc=npc,
+          method=method, pc=pc, rem=rem):
+        a = regs[rs1]
+        if b == 0:
+            raise GuestError("division by zero", method, pc)
+        q = abs(a) // abs(b)
+        if (a >= 0) != (b >= 0):
+            q = -q
+        regs[rd] = a - q * b if rem else q
+        return npc
+    return h
+
+
+_ALUI_FACTORIES = {
+    "add": _h_alui_add, "sub": _h_alui_sub, "mul": _h_alui_mul,
+    "and": _h_alui_and, "shl": _h_alui_shl, "shr": _h_alui_shr,
+    "neg": _h_alui_neg,
+}
+
+
+# -- branches ---------------------------------------------------------------
+
+def _h_bc_eq(rs1, rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, rs2=rs2, timm=timm, npc=npc):
+        return timm if regs[rs1] == regs[rs2] else npc
+    return h
+
+
+def _h_bc_ne(rs1, rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, rs2=rs2, timm=timm, npc=npc):
+        return timm if regs[rs1] != regs[rs2] else npc
+    return h
+
+
+def _h_bc_lt(rs1, rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, rs2=rs2, timm=timm, npc=npc):
+        return timm if regs[rs1] < regs[rs2] else npc
+    return h
+
+
+def _h_bc_ge(rs1, rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, rs2=rs2, timm=timm, npc=npc):
+        return timm if regs[rs1] >= regs[rs2] else npc
+    return h
+
+
+def _h_bc_gt(rs1, rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, rs2=rs2, timm=timm, npc=npc):
+        return timm if regs[rs1] > regs[rs2] else npc
+    return h
+
+
+def _h_bc_le(rs1, rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, rs2=rs2, timm=timm, npc=npc):
+        return timm if regs[rs1] <= regs[rs2] else npc
+    return h
+
+
+def _h_bc_eq0(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] == 0 else npc
+    return h
+
+
+def _h_bc_ne0(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] != 0 else npc
+    return h
+
+
+def _h_bc_lt0(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] < 0 else npc
+    return h
+
+
+def _h_bc_ge0(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] >= 0 else npc
+    return h
+
+
+def _h_bc_gt0(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] > 0 else npc
+    return h
+
+
+def _h_bc_le0(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] <= 0 else npc
+    return h
+
+
+def _h_bc_null(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] is None else npc
+    return h
+
+
+def _h_bc_nonnull(rs1, _rs2, timm, npc):
+    def h(frame, regs, slots, rs1=rs1, timm=timm, npc=npc):
+        return timm if regs[rs1] is not None else npc
+    return h
+
+
+_BC_FACTORIES = {
+    ("eq", True): _h_bc_eq, ("ne", True): _h_bc_ne,
+    ("lt", True): _h_bc_lt, ("ge", True): _h_bc_ge,
+    ("gt", True): _h_bc_gt, ("le", True): _h_bc_le,
+    ("eq", False): _h_bc_eq0, ("ne", False): _h_bc_ne0,
+    ("lt", False): _h_bc_lt0, ("ge", False): _h_bc_ge0,
+    ("gt", False): _h_bc_gt0, ("le", False): _h_bc_le0,
+    ("null", True): _h_bc_null, ("null", False): _h_bc_null,
+    ("nonnull", True): _h_bc_nonnull, ("nonnull", False): _h_bc_nonnull,
+}
+
+
+def _h_br(timm):
+    def h(frame, regs, slots, timm=timm):
+        return timm
+    return h
+
+
+# -- memory traffic ---------------------------------------------------------
+
+def _h_getf(cell, mem_access, rd, rs1, off, fi, eip, method, pc, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, rd=rd,
+          rs1=rs1, off=off, fi=fi, eip=eip, method=method, pc=pc, npc=npc):
+        obj = regs[rs1]
+        if obj is None:
+            raise GuestError("null getfield", method, pc)
+        cell[0] += mem_access(obj.address + off, False, eip)
+        regs[rd] = obj.slots[fi]
+        return npc
+    return h
+
+
+def _h_putf(cell, mem_access, rs1, rs2, off, fi, eip, method, pc, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, rs1=rs1,
+          rs2=rs2, off=off, fi=fi, eip=eip, method=method, pc=pc, npc=npc):
+        obj = regs[rs1]
+        if obj is None:
+            raise GuestError("null putfield", method, pc)
+        value = regs[rs2]
+        cell[0] += mem_access(obj.address + off, True, eip)
+        obj.slots[fi] = value
+        return npc
+    return h
+
+
+def _h_putf_ref(cell, mem_access, wb, rs1, rs2, off, fi, eip, method, pc,
+                npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, wb=wb,
+          rs1=rs1, rs2=rs2, off=off, fi=fi, eip=eip, method=method, pc=pc,
+          npc=npc):
+        obj = regs[rs1]
+        if obj is None:
+            raise GuestError("null putfield", method, pc)
+        value = regs[rs2]
+        cell[0] += mem_access(obj.address + off, True, eip)
+        obj.slots[fi] = value
+        wb(obj, fi, value)
+        return npc
+    return h
+
+
+def _h_aload(cell, mem_access, rd, rs1, rs2, eip, method, pc, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, rd=rd,
+          rs1=rs1, rs2=rs2, eip=eip, method=method, pc=pc, npc=npc):
+        arr = regs[rs1]
+        if arr is None:
+            raise GuestError("null array load", method, pc)
+        index = regs[rs2]
+        elems = arr.elements
+        if index < 0 or index >= len(elems):
+            raise GuestError(
+                f"index {index} out of bounds [0,{len(elems)})", method, pc)
+        cell[0] += mem_access(arr.address + 12 + index * arr.esize,
+                              False, eip)
+        regs[rd] = elems[index]
+        return npc
+    return h
+
+
+def _h_astore(cell, mem_access, wb, rd, rs1, rs2, eip, method, pc, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, wb=wb,
+          rd=rd, rs1=rs1, rs2=rs2, eip=eip, method=method, pc=pc, npc=npc):
+        arr = regs[rs1]
+        if arr is None:
+            raise GuestError("null array store", method, pc)
+        index = regs[rs2]
+        elems = arr.elements
+        if index < 0 or index >= len(elems):
+            raise GuestError(
+                f"index {index} out of bounds [0,{len(elems)})", method, pc)
+        value = regs[rd]
+        cell[0] += mem_access(arr.address + 12 + index * arr.esize,
+                              True, eip)
+        elems[index] = value
+        # ``arr.kind`` is a runtime property of the array, not of the
+        # instruction: keep the reference interpreter's check.
+        if arr.kind == "ref":
+            wb(arr, index, value)
+        return npc
+    return h
+
+
+def _h_len(cell, mem_access, rd, rs1, eip, method, pc, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, rd=rd,
+          rs1=rs1, eip=eip, method=method, pc=pc, npc=npc):
+        arr = regs[rs1]
+        if arr is None:
+            raise GuestError("null arraylength", method, pc)
+        cell[0] += mem_access(arr.address + 8, False, eip)
+        regs[rd] = len(arr.elements)
+        return npc
+    return h
+
+
+def _h_ldf(cell, mem_access, rd, off, si, eip, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, rd=rd,
+          off=off, si=si, eip=eip, npc=npc):
+        cell[0] += mem_access(frame.base + off, False, eip)
+        regs[rd] = slots[si]
+        return npc
+    return h
+
+
+def _h_stf(cell, mem_access, rs1, off, si, eip, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, rs1=rs1,
+          off=off, si=si, eip=eip, npc=npc):
+        cell[0] += mem_access(frame.base + off, True, eip)
+        slots[si] = regs[rs1]
+        return npc
+    return h
+
+
+def _h_getstatic(cell, mem_access, static_addr, klass, fld, sv, fi, rd,
+                 eip, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access,
+          static_addr=static_addr, klass=klass, fld=fld, sv=sv, fi=fi,
+          rd=rd, eip=eip, npc=npc):
+        cell[0] += mem_access(static_addr(klass, fld), False, eip)
+        regs[rd] = sv[fi]
+        return npc
+    return h
+
+
+def _h_putstatic(cell, mem_access, static_addr, klass, fld, sv, fi, rs1,
+                 eip, npc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access,
+          static_addr=static_addr, klass=klass, fld=fld, sv=sv, fi=fi,
+          rs1=rs1, eip=eip, npc=npc):
+        cell[0] += mem_access(static_addr(klass, fld), True, eip)
+        sv[fi] = regs[rs1]
+        return npc
+    return h
+
+
+# -- calls, returns, allocation, checks -------------------------------------
+
+def _h_call(cpu, target, argregs, pc):
+    n_args = len(argregs)
+    if n_args == 0:
+        def h(frame, regs, slots, cpu=cpu, target=target, pc=pc):
+            frame.pc = pc
+            cpu._call_target = target
+            cpu._call_args = ()
+            return CALL_SENT
+    elif n_args == 1:
+        def h(frame, regs, slots, cpu=cpu, target=target, pc=pc,
+              a0=argregs[0]):
+            frame.pc = pc
+            cpu._call_target = target
+            cpu._call_args = (regs[a0],)
+            return CALL_SENT
+    elif n_args == 2:
+        def h(frame, regs, slots, cpu=cpu, target=target, pc=pc,
+              a0=argregs[0], a1=argregs[1]):
+            frame.pc = pc
+            cpu._call_target = target
+            cpu._call_args = (regs[a0], regs[a1])
+            return CALL_SENT
+    elif n_args == 3:
+        def h(frame, regs, slots, cpu=cpu, target=target, pc=pc,
+              a0=argregs[0], a1=argregs[1], a2=argregs[2]):
+            frame.pc = pc
+            cpu._call_target = target
+            cpu._call_args = (regs[a0], regs[a1], regs[a2])
+            return CALL_SENT
+    else:
+        def h(frame, regs, slots, cpu=cpu, target=target, pc=pc,
+              argregs=argregs):
+            frame.pc = pc
+            cpu._call_target = target
+            cpu._call_args = tuple([regs[r] for r in argregs])
+            return CALL_SENT
+    return h
+
+
+def _h_callv(cell, mem_access, cpu, rs1, slot, argregs, eip, method, pc):
+    def h(frame, regs, slots, cell=cell, mem_access=mem_access, cpu=cpu,
+          rs1=rs1, slot=slot, argregs=argregs, eip=eip, method=method,
+          pc=pc):
+        frame.pc = pc
+        receiver = regs[rs1]
+        if receiver is None:
+            raise GuestError("null receiver", method, pc)
+        # Virtual dispatch reads the object header (a heap access the
+        # interest analysis also tracks).
+        cell[0] += mem_access(receiver.address, False, eip)
+        cpu._call_target = receiver.class_info.vtable[slot]
+        cpu._call_args = tuple([regs[r] for r in argregs])
+        return CALL_SENT
+    return h
+
+
+def _h_ret(cpu, rs1):
+    if rs1 is None:
+        def h(frame, regs, slots, cpu=cpu):
+            cpu._ret_value = None
+            return RET_SENT
+    else:
+        def h(frame, regs, slots, cpu=cpu, rs1=rs1):
+            cpu._ret_value = regs[rs1]
+            return RET_SENT
+    return h
+
+
+def _h_new(pc):
+    sent = ~pc
+    def h(frame, regs, slots, pc=pc, sent=sent):
+        frame.pc = pc  # GC point
+        return sent
+    return h
+
+
+def _p2_new(alloc_object, klass, rd, cost):
+    def p2(regs, alloc_object=alloc_object, klass=klass, rd=rd, cost=cost):
+        regs[rd] = alloc_object(klass)
+        return cost
+    return p2
+
+
+def _h_newarr(rs1, method, pc):
+    sent = ~pc
+    def h(frame, regs, slots, rs1=rs1, method=method, pc=pc, sent=sent):
+        frame.pc = pc  # GC point
+        if regs[rs1] < 0:
+            raise GuestError("negative array size", method, pc)
+        return sent
+    return h
+
+
+def _p2_newarr(alloc_array, kind, rd, rs1, cost):
+    def p2(regs, alloc_array=alloc_array, kind=kind, rd=rd, rs1=rs1,
+           cost=cost):
+        regs[rd] = alloc_array(kind, regs[rs1])
+        return cost
+    return p2
+
+
+def _h_nullchk(rs1, method, pc, npc):
+    def h(frame, regs, slots, rs1=rs1, method=method, pc=pc, npc=npc):
+        if regs[rs1] is None:
+            raise GuestError("null receiver", method, pc)
+        return npc
+    return h
+
+
+# ---------------------------------------------------------------------------
+# The translator.
+# ---------------------------------------------------------------------------
+
+def translate(cm, cpu) -> Translation:
+    """Compile ``cm``'s instruction list into closures bound to ``cpu``."""
+    mem_access = cpu.mem.access
+    runtime = cpu.runtime
+    plan = runtime.plan
+    static_addr = runtime.static_addr
+    wb = plan.write_barrier
+    alloc_object = plan.alloc_object
+    alloc_array = plan.alloc_array
+    alloc_cost = plan.config.alloc_cost
+    cell = cpu._cyc_cell
+    method = cm.method
+    base_eip = cm.code_addr
+
+    handlers: List[Handler] = []
+    phase2: Dict[int, Callable] = {}
+    for pc, inst in enumerate(cm.code):
+        op = inst.op
+        eip = base_eip + pc * INSTRUCTION_BYTES
+        npc = pc + 1
+        if op == M_GETF:
+            fld = inst.aux
+            h = _h_getf(cell, mem_access, inst.rd, inst.rs1, fld.offset,
+                        fld.index, eip, method, pc, npc)
+        elif op == M_ALOAD:
+            h = _h_aload(cell, mem_access, inst.rd, inst.rs1, inst.rs2,
+                         eip, method, pc, npc)
+        elif op == M_ALU:
+            aux = inst.aux
+            factory = _ALU_FACTORIES.get(aux)
+            if factory is not None:
+                h = factory(inst.rd, inst.rs1, inst.rs2, npc)
+            elif aux == "div" or aux == "rem":
+                h = _h_alu_divrem(inst.rd, inst.rs1, inst.rs2, npc,
+                                  method, pc, aux == "rem")
+            else:
+                h = _h_bad(f"bad alu op {aux}", method, pc)
+        elif op == M_BC:
+            factory = _BC_FACTORIES.get((inst.aux, inst.rs2 is not None))
+            if factory is None:
+                # The reference interpreter treats any unknown condition
+                # as "nonnull" (its final else); mirror that.
+                factory = _h_bc_nonnull
+            h = factory(inst.rs1, inst.rs2, inst.imm, npc)
+        elif op == M_ALUI:
+            aux = inst.aux
+            factory = _ALUI_FACTORIES.get(aux)
+            if factory is not None:
+                h = factory(inst.rd, inst.rs1, inst.imm, npc)
+            elif aux == "div" or aux == "rem":
+                h = _h_alui_divrem(inst.rd, inst.rs1, inst.imm, npc,
+                                   method, pc, aux == "rem")
+            else:
+                h = _h_bad(f"bad alui op {aux}", method, pc)
+        elif op == M_MOVI:
+            h = _h_movi(inst.rd, inst.imm, npc)
+        elif op == M_MOV:
+            h = _h_mov(inst.rd, inst.rs1, npc)
+        elif op == M_LDF:
+            h = _h_ldf(cell, mem_access, inst.rd, inst.imm * 4, inst.imm,
+                       eip, npc)
+        elif op == M_STF:
+            h = _h_stf(cell, mem_access, inst.rs1, inst.imm * 4, inst.imm,
+                       eip, npc)
+        elif op == M_ASTORE:
+            h = _h_astore(cell, mem_access, wb, inst.rd, inst.rs1,
+                          inst.rs2, eip, method, pc, npc)
+        elif op == M_PUTF:
+            fld = inst.aux
+            if fld.kind == "ref":
+                h = _h_putf_ref(cell, mem_access, wb, inst.rs1, inst.rs2,
+                                fld.offset, fld.index, eip, method, pc, npc)
+            else:
+                h = _h_putf(cell, mem_access, inst.rs1, inst.rs2,
+                            fld.offset, fld.index, eip, method, pc, npc)
+        elif op == M_BR:
+            h = _h_br(inst.imm)
+        elif op == M_LEN:
+            h = _h_len(cell, mem_access, inst.rd, inst.rs1, eip, method,
+                       pc, npc)
+        elif op == M_CALL:
+            h = _h_call(cpu, inst.aux, tuple(inst.imm), pc)
+        elif op == M_CALLV:
+            h = _h_callv(cell, mem_access, cpu, inst.rs1, inst.aux[1],
+                         tuple(inst.imm), eip, method, pc)
+        elif op == M_RET:
+            h = _h_ret(cpu, inst.rs1)
+        elif op == M_NEW:
+            h = _h_new(pc)
+            phase2[pc] = _p2_new(alloc_object, inst.aux, inst.rd,
+                                 alloc_cost)
+        elif op == M_NEWARR:
+            h = _h_newarr(inst.rs1, method, pc)
+            phase2[pc] = _p2_newarr(alloc_array, inst.aux, inst.rd,
+                                    inst.rs1, alloc_cost)
+        elif op == M_GETSTATIC:
+            klass, fld = inst.aux
+            h = _h_getstatic(cell, mem_access, static_addr, klass, fld,
+                             klass.static_values, fld.index, inst.rd,
+                             eip, npc)
+        elif op == M_PUTSTATIC:
+            klass, fld = inst.aux
+            h = _h_putstatic(cell, mem_access, static_addr, klass, fld,
+                             klass.static_values, fld.index, inst.rs1,
+                             eip, npc)
+        elif op == M_NULLCHK:
+            h = _h_nullchk(inst.rs1, method, pc, npc)
+        elif op == M_NOP:
+            h = _h_nop(npc)
+        else:
+            h = _h_bad(f"illegal opcode {op}", method, pc)
+        handlers.append(h)
+    return Translation(cpu, handlers, phase2)

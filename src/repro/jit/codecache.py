@@ -43,6 +43,12 @@ class CompiledMethod:
     ir_map:
         ``pc -> HIR instruction id`` (opt level only); lets the monitor
         count events per IR instruction (section 4.2).
+    translation:
+        The closure-threaded form of :attr:`code` built lazily by
+        :mod:`repro.hw.translate` on first execution; dropped when this
+        version is superseded (:meth:`CodeCache.note_replaced`) so
+        recompiled methods — opt-compiler upgrades, devirt reverts —
+        are re-specialized against their new code.
     """
 
     def __init__(self, method, level: int, code: List[MInst],
@@ -57,6 +63,7 @@ class CompiledMethod:
         self.gc_maps = gc_maps
         self.hir = hir
         self.code_addr = 0  # assigned by the code cache
+        self.translation = None  # built by repro.hw.translate on demand
         self.bc_map: List[int] = [inst.bc_index for inst in code]
         self.ir_map: List[Optional[int]] = [inst.ir_id for inst in code]
 
@@ -114,8 +121,12 @@ class CodeCache:
 
     def note_replaced(self, old: CompiledMethod) -> None:
         """Account a superseded compiled version (kept: code never moves,
-        so stale versions only cost space — section 4.2)."""
+        so stale versions only cost space — section 4.2).  The stale
+        version's translation is dropped: new invocations dispatch to
+        the replacement, and any frame still running the old code simply
+        re-translates on its next activation."""
         self.stale_bytes += old.code_bytes
+        old.translation = None
 
     def lookup(self, eip: int) -> Optional[CompiledMethod]:
         """Sorted-table lookup of the method containing ``eip``.

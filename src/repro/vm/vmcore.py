@@ -128,7 +128,8 @@ class VM:
 
         # CPU.
         self.cpu = CPU(self.config.machine, self.memsys, runtime=self,
-                       scheduler=self.scheduler)
+                       scheduler=self.scheduler,
+                       fastpath=self.config.fastpath)
         # Trace timestamps come from the simulated cycle clock.
         self.telemetry.bind_clock(lambda: self.cpu.cycles)
         self.method_profiler = None

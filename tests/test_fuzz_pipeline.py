@@ -119,6 +119,17 @@ def run_recipe(actions, plan_methods=(), **config_overrides):
     return app.static_values[app.static("out").index]
 
 
+def run_recipe_full(actions, plan_methods=(), **config_overrides):
+    """Like :func:`run_recipe` but also returns the RunResult."""
+    p, app = build_random_program(actions)
+    kwargs = dict(monitoring=False, gc=GCConfig(heap_bytes=1024 * 1024))
+    kwargs.update(config_overrides)
+    cfg = SystemConfig(**kwargs)
+    plan = CompilationPlan(list(plan_methods))
+    result = run_program(p, cfg, compilation_plan=plan)
+    return app.static_values[app.static("out").index], result
+
+
 class TestCompilerEquivalenceFuzz:
     @given(ACTIONS)
     @settings(max_examples=60, deadline=None)
@@ -132,6 +143,39 @@ class TestCompilerEquivalenceFuzz:
     def test_gc_plan_does_not_change_results(self, actions):
         assert run_recipe(actions, gc_plan="genms") == \
             run_recipe(actions, gc_plan="gencopy")
+
+
+class TestInterpreterEquivalenceFuzz:
+    """The closure-threaded fast path (repro.hw.translate) must be
+    observationally indistinguishable from the reference interpreter:
+    same exit values, same cycle and instruction counts, same hardware
+    event counters — for every program, under every compiler level."""
+
+    @staticmethod
+    def _differential(actions, plan_methods=(), **overrides):
+        ref_out, ref = run_recipe_full(actions, plan_methods,
+                                       fastpath=False, **overrides)
+        fast_out, fast = run_recipe_full(actions, plan_methods,
+                                         fastpath=True, **overrides)
+        assert fast_out == ref_out
+        assert fast.cycles == ref.cycles
+        assert fast.instructions == ref.instructions
+        assert fast.counters == ref.counters
+
+    @given(ACTIONS)
+    @settings(max_examples=40, deadline=None)
+    def test_fastpath_matches_reference_baseline(self, actions):
+        self._differential(actions)
+
+    @given(ACTIONS)
+    @settings(max_examples=20, deadline=None)
+    def test_fastpath_matches_reference_opt(self, actions):
+        self._differential(actions, plan_methods=["App.work"])
+
+    @given(ACTIONS)
+    @settings(max_examples=10, deadline=None)
+    def test_fastpath_matches_reference_monitoring(self, actions):
+        self._differential(actions, monitoring=True)
 
 
 class TestGCUnderPressureFuzz:

@@ -103,6 +103,66 @@ class TestMemorySystem:
         assert not ms.l2.contains(0x100000)
 
 
+class TestCounterIdentities:
+    """Structural invariants of the hot path: every access translates
+    its address exactly once and probes L1 exactly once, so
+    ``DTLB_ACCESS == L1D_ACCESS == LOADS + STORES``; L2 is probed
+    exactly on L1 misses (prefetch fills bypass the tally), so
+    ``L2_ACCESS == L1D_MISS``."""
+
+    @staticmethod
+    def assert_identities(counts):
+        assert counts["DTLB_ACCESS"] == counts["L1D_ACCESS"]
+        assert counts["L1D_ACCESS"] == counts["LOADS"] + counts["STORES"]
+        assert counts["L2_ACCESS"] == counts["L1D_MISS"]
+
+    def test_random_mixed_traffic(self):
+        ms = make_memsys()
+        rng = random.Random(42)
+        for _ in range(5000):
+            addr = 0x100000 + rng.randrange(0, 1 << 22, 4)
+            ms.access(addr, rng.random() < 0.3, eip=addr)
+        counts = ms.sync_counters().counts
+        self.assert_identities(counts)
+        # The traffic really exercised every level.
+        assert counts["L1D_MISS"] > 0
+        assert counts["L2_MISS"] > 0
+        assert counts["DTLB_MISS"] > 0
+
+    def test_identities_survive_pollution(self):
+        ms = make_memsys()
+        for i in range(64):
+            ms.access(0x100000 + i * 128, False, eip=0)
+        ms.pollute_minor()
+        for i in range(64):
+            ms.access(0x100000 + i * 128, True, eip=0)
+        ms.pollute_full()
+        ms.access(0x100000, False, eip=0)
+        self.assert_identities(ms.sync_counters().counts)
+
+    def test_identities_hold_after_guest_run(self):
+        from repro.harness.runner import RunSpec, execute
+        result = execute(RunSpec(benchmark="fop", monitoring=True))
+        self.assert_identities(result.counters)
+
+    def test_l1_cold_set_probe_within_warm_page(self):
+        """Edge case: an access whose L1 set has never been touched
+        (empty way list) but whose page is already in the TLB — it must
+        pay the full L1-miss + L2-miss latency with *no* TLB penalty,
+        and count one L1 miss, not a DTLB miss."""
+        ms = make_memsys()
+        cfg = ms.config
+        ms.access(0x100000, False, eip=0)          # cold: TLB+L1+L2 miss
+        # +128 = next line, next (empty) L1 set, same 4 KB page.
+        latency = ms.access(0x100000 + 128, False, eip=0)
+        assert latency == (cfg.l1.hit_latency + cfg.l2.hit_latency
+                           + cfg.memory_latency)
+        counts = ms.sync_counters().counts
+        assert counts["DTLB_MISS"] == 1            # only the first access
+        assert counts["L1D_MISS"] == 2
+        self.assert_identities(counts)
+
+
 class TestPEBS:
     def make_unit(self, interval=10, **cfg_overrides):
         cfg = PEBSConfig(**cfg_overrides)

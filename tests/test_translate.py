@@ -1,0 +1,186 @@
+"""Tests for the closure-threaded guest-code translator.
+
+The fast path (:mod:`repro.hw.translate`) must be a pure speedup: every
+observable of a run — exit values, cycle and instruction counts,
+hardware event counters, GC statistics, sampled EIPs — is bit-identical
+to the reference interpreter, translations are cached per compiled
+method and dropped on recompilation, and the ``fastpath`` knob never
+leaks into the experiment cache key.
+"""
+
+import dataclasses
+
+import pytest
+
+from tests.helpers import BASELINE_ONLY
+from repro.core.config import GCConfig, SystemConfig, fastpath_enabled
+from repro.harness import diskcache, runner
+from repro.harness.record import RunRecord
+from repro.harness.runner import RunSpec, execute
+from repro.hw.translate import translation_for
+from repro.vm.program import Program
+from repro.vm.vmcore import VM, run_program
+from repro.workloads.synth import Fn
+
+
+def _loop_program(iters=200):
+    """Main with a counted loop over allocation + field traffic."""
+    p = Program("tr")
+    app = p.define_class("App")
+    app.add_static("out", "int")
+    app.seal()
+    box = p.define_class("Box")
+    box.add_field("v", "int")
+    box.seal()
+
+    fn = Fn(p, app, "main")
+    acc = fn.local()
+    obj = fn.local()
+    fn.iconst(0).istore(acc)
+    with fn.loop(iters) as i:
+        fn.new(box).rstore(obj)
+        fn.rload(obj).iload(i).putfield(box, "v")
+        fn.iload(acc).rload(obj).getfield(box, "v")
+        fn.emit("iadd").istore(acc)
+    fn.iload(acc).putstatic(app, "out")
+    fn.ret()
+    p.set_main(fn.finish())
+    return p, app
+
+
+def _vm(program, fastpath=True, plan=BASELINE_ONLY):
+    cfg = SystemConfig(monitoring=False,
+                       gc=GCConfig(heap_bytes=2 * 1024 * 1024),
+                       fastpath=fastpath)
+    return VM(program, cfg, compilation_plan=plan)
+
+
+class TestKnob:
+    def test_explicit_setting_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        assert fastpath_enabled(True) is True
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        assert fastpath_enabled(False) is False
+
+    def test_env_default_is_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+        assert fastpath_enabled() is True
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        assert fastpath_enabled() is False
+
+    def test_cpu_fastpath_follows_config(self):
+        p, _ = _loop_program()
+        assert _vm(p, fastpath=True).cpu.fastpath is True
+        assert _vm(p, fastpath=False).cpu.fastpath is False
+
+
+class TestTranslationCache:
+    def test_cached_and_idempotent(self):
+        p, _ = _loop_program()
+        vm = _vm(p)
+        cm = vm.compiled_code_for(p.main)
+        tr = translation_for(cm, vm.cpu)
+        assert cm.translation is tr
+        assert translation_for(cm, vm.cpu) is tr
+        assert len(tr.handlers) == len(cm.code)
+
+    def test_rebuilt_for_a_different_cpu(self):
+        p, _ = _loop_program()
+        vm1 = _vm(p)
+        cm = vm1.compiled_code_for(p.main)
+        tr1 = translation_for(cm, vm1.cpu)
+        vm2 = _vm(p)
+        tr2 = translation_for(cm, vm2.cpu)
+        assert tr2 is not tr1
+        assert cm.translation is tr2
+
+    def test_invalidated_on_opt_recompile(self):
+        p, _ = _loop_program()
+        vm = _vm(p)
+        cm = vm.compiled_code_for(p.main)
+        translation_for(cm, vm.cpu)
+        assert cm.translation is not None
+        new_cm = vm.opt_compile(p.main)
+        assert cm.translation is None      # stale version dropped
+        assert new_cm is not cm
+        assert new_cm.translation is None  # fresh version: built on demand
+
+
+class TestBitIdentity:
+    """Whole-run differential: the translated path must reproduce the
+    reference interpreter's RunRecord byte for byte."""
+
+    @pytest.mark.parametrize("spec", [
+        RunSpec(benchmark="fop", monitoring=True),
+        RunSpec(benchmark="fop", monitoring=True, coalloc=True,
+                gc_plan="gencopy", interval="25K"),
+        RunSpec(benchmark="db", monitoring=False),
+    ], ids=["fop-monitored", "fop-coalloc-gencopy", "db-unmonitored"])
+    def test_records_identical(self, spec):
+        ref = RunRecord.from_result(execute(spec, fastpath=False))
+        fast = RunRecord.from_result(execute(spec, fastpath=True))
+        assert fast.to_json() == ref.to_json()
+
+    def test_aos_recompilation_identical(self):
+        """No pre-generated plan: the AOS samples, decides, and opt
+        recompiles mid-run — exercising translation invalidation and
+        re-translation while frames are live."""
+        outcomes = {}
+        for fastpath in (False, True):
+            p, app = _loop_program(6000)
+            cfg = SystemConfig(monitoring=False,
+                               gc=GCConfig(heap_bytes=4 * 1024 * 1024),
+                               fastpath=fastpath)
+            result = run_program(p, cfg, compilation_plan=None)
+            out = app.static_values[app.static("out").index]
+            outcomes[fastpath] = (out, result.cycles, result.instructions,
+                                  result.counters,
+                                  p.main.compile_count)
+        assert outcomes[True] == outcomes[False]
+        # The run was long enough for the AOS to actually recompile.
+        assert outcomes[True][-1] > 1
+
+    def test_until_cycles_slicing_identical(self):
+        """Drive the CPU in fixed-size cycle slices; every intermediate
+        (cycles, instructions) pair must match the reference."""
+        traces = {}
+        for fastpath in (False, True):
+            p, app = _loop_program(300)
+            vm = _vm(p, fastpath=fastpath)
+            cpu = vm.cpu
+            cpu._push_frame(vm.compiled_code_for(p.main), ())
+            trace = []
+            while cpu.frames:
+                cpu.run(until_cycles=cpu.cycles + 137)
+                trace.append((cpu.cycles, cpu.instructions))
+            out = app.static_values[app.static("out").index]
+            traces[fastpath] = (trace, out)
+        assert traces[True] == traces[False]
+        assert len(traces[True][0]) > 3  # really did run in slices
+
+
+class TestCacheKeyUnchanged:
+    """The knob rides on SystemConfig, never on the frozen RunSpec, so
+    the disk-cache key is identical in both modes and a record computed
+    under either serves both."""
+
+    def test_runspec_has_no_fastpath_field(self):
+        assert "fastpath" not in {f.name for f in
+                                  dataclasses.fields(RunSpec)}
+
+    def test_record_served_across_modes(self, tmp_path, monkeypatch):
+        spec = RunSpec(benchmark="fop", monitoring=False)
+        runner.set_disk_cache(diskcache.DiskCache(root=str(tmp_path)))
+        try:
+            monkeypatch.setenv("REPRO_FASTPATH", "1")
+            before = runner.SIM_RUNS
+            fast = runner.record_for(spec)
+            assert runner.SIM_RUNS == before + 1
+            runner.clear_cache()  # drop the memo; keep the disk layer
+            monkeypatch.setenv("REPRO_FASTPATH", "0")
+            ref = runner.record_for(spec)
+            assert runner.SIM_RUNS == before + 1  # served, not simulated
+            assert ref.to_json() == fast.to_json()
+        finally:
+            runner.set_disk_cache(None)
+            runner.clear_cache()
