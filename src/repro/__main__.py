@@ -5,6 +5,8 @@ Commands
 list                      the Table 1 benchmarks
 run BENCH [options]       run one benchmark, print the result summary
 timeline BENCH [options]  run one benchmark, print a text trace timeline
+audit BENCH [options]     sampling-fidelity audit vs. exact ground truth
+diff A.json B.json        structured diff of two exported run records
 table1 | table2           regenerate a table
 fig2 .. fig8              regenerate a figure
 ablations                 run the ablation experiments
@@ -13,13 +15,19 @@ cache stats | clear       inspect or drop the persistent result cache
 Table/figure commands accept ``--jobs N`` to fan uncached runs across N
 worker processes (default: ``REPRO_JOBS`` or the CPU count; ``--jobs 1``
 runs serially in-process).  Results are bit-identical either way.
+``--progress`` streams live fleet events (queued/started/finished/
+cache-hit, with an ETA) to stderr; ``--progress-log PATH`` appends the
+same events to a JSONL log.
 
 Examples::
 
     python -m repro run db --heap-mult 4 --coalloc --trace out.json
+    python -m repro run db --record db.json --prom db.prom
+    python -m repro audit db --json audit.json
+    python -m repro diff a.json b.json
     python -m repro timeline db --coalloc
     python -m repro fig4 --benchmarks db,pseudojbb,compress --jobs 4
-    python -m repro fig6
+    python -m repro fig6 --progress
     python -m repro cache stats
 """
 
@@ -77,10 +85,12 @@ def _run_spec(args) -> RunSpec:
 
 def cmd_run(args) -> None:
     from repro.telemetry import Telemetry
-    from repro.telemetry.export import write_chrome_trace, write_jsonl
+    from repro.telemetry.export import (write_chrome_trace, write_jsonl,
+                                        write_prometheus)
 
     spec = _run_spec(args)
-    telemetry = Telemetry() if (args.trace or args.metrics) else None
+    telemetry = (Telemetry() if (args.trace or args.metrics or args.prom)
+                 else None)
     result = execute(spec, telemetry=telemetry,
                      fastpath=False if args.no_fastpath else None)
     print(f"benchmark            : {result.program}")
@@ -110,16 +120,80 @@ def cmd_run(args) -> None:
             raise SystemExit(f"cannot write trace to {args.trace!r}: {exc}")
         print(f"trace                : {args.trace} "
               f"({len(telemetry.tracer.spans)} spans; open in Perfetto)")
+    if telemetry is not None and args.prom:
+        try:
+            write_prometheus(args.prom, telemetry.metrics)
+        except OSError as exc:
+            raise SystemExit(f"cannot write metrics to {args.prom!r}: {exc}")
+        print(f"prometheus           : {args.prom}")
+    if args.record:
+        import json
+
+        from repro.harness.runner import record_from_result
+
+        record = record_from_result(
+            spec, result, fastpath=False if args.no_fastpath else None)
+        try:
+            with open(args.record, "w") as fh:
+                json.dump(record.to_json(), fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write record to {args.record!r}: {exc}")
+        print(f"record               : {args.record} (repro diff input)")
     if telemetry is not None and args.metrics:
         print("metrics:")
         for line in telemetry.metrics.render().splitlines():
             print(f"  {line}")
 
 
+def _load_trace_spans(path: str):
+    """Rebuild span events from an exported trace (JSON or JSONL)."""
+    import json
+
+    from repro.telemetry.tracer import SpanEvent
+
+    spans = []
+    with open(path, "r") as fh:
+        text = fh.read()
+    if not text.strip():
+        return spans
+    if path.endswith(".jsonl"):
+        docs = [json.loads(line) for line in text.splitlines() if line.strip()]
+        events = [d for d in docs if d.get("type") == "span"]
+        for d in events:
+            spans.append(SpanEvent(d["name"], d["cat"], d["ts"], d["dur"],
+                                   d.get("depth", 0), d.get("args")))
+    else:
+        doc = json.loads(text)
+        for ev in doc.get("traceEvents", []):
+            if ev.get("ph") == "X":
+                spans.append(SpanEvent(ev["name"], ev.get("cat", "vm"),
+                                       ev["ts"], ev["dur"], 0,
+                                       ev.get("args")))
+    return spans
+
+
 def cmd_timeline(args) -> None:
     from repro.telemetry import Telemetry
     from repro.telemetry.export import format_timeline
+    from repro.telemetry.tracer import Tracer
 
+    if args.from_trace:
+        try:
+            spans = _load_trace_spans(args.from_trace)
+        except OSError:
+            raise SystemExit(f"timeline: no trace at {args.from_trace!r} "
+                             "(run `repro run BENCH --trace PATH` first)")
+        except ValueError:
+            raise SystemExit(f"timeline: {args.from_trace!r} is not an "
+                             "exported trace (JSON or JSONL)")
+        if not spans:
+            print(f"timeline: no spans in {args.from_trace!r}")
+            return
+        tracer = Tracer()
+        tracer.spans = spans
+        print(format_timeline(tracer, width=args.width))
+        return
     telemetry = Telemetry()
     result = execute(_run_spec(args), telemetry=telemetry,
                      fastpath=False if args.no_fastpath else None)
@@ -208,6 +282,54 @@ def cmd_ablations(args) -> None:
               f"L2 misses {pf.l2_misses_with:,} -> {pf.l2_misses_without:,}")
 
 
+def cmd_audit(args) -> None:
+    from repro.analysis import fidelity
+
+    intervals = tuple(v.strip() for v in args.intervals.split(",")
+                      if v.strip())
+    for name in intervals:
+        if name not in ("25K", "50K", "100K", "auto"):
+            raise SystemExit(f"unknown interval {name!r}; "
+                             "known: 25K, 50K, 100K, auto")
+    report = fidelity.audit_benchmark(
+        args.benchmark, intervals=intervals, seed=args.seed,
+        top_n=args.top, event=args.event, coalloc=args.coalloc)
+    print(fidelity.format_report(report))
+    if args.json:
+        import json
+
+        try:
+            with open(args.json, "w") as fh:
+                json.dump(report.to_json(), fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write report to {args.json!r}: {exc}")
+        print(f"\njson report: {args.json}")
+
+
+def cmd_diff(args) -> None:
+    from repro.analysis import provenance
+    from repro.analysis.diff import diff_records, format_diff, load_record
+
+    records = []
+    for path in (args.record_a, args.record_b):
+        try:
+            records.append(load_record(path))
+        except OSError as exc:
+            raise SystemExit(f"diff: cannot read {path!r}: {exc}")
+        except (ValueError, KeyError, TypeError):
+            raise SystemExit(f"diff: {path!r} is not an exported run "
+                             "record (see `repro run --record`)")
+    a, b = records
+    print(f"a: {provenance.describe(a.provenance)}")
+    print(f"b: {provenance.describe(b.provenance)}")
+    diff = diff_records(a, b, threshold=args.threshold)
+    print(format_diff(diff, args.record_a, args.record_b,
+                      limit=args.limit))
+    if diff.significant:
+        raise SystemExit(1)
+
+
 def cmd_cache(args) -> None:
     from repro.harness import runner
     from repro.harness.diskcache import DiskCache, cache_enabled
@@ -221,7 +343,16 @@ def cmd_cache(args) -> None:
         runner.clear_cache()
         print(f"removed {removed} cached result(s) from {cache.root}")
     else:
+        import os
+
+        if not os.path.isdir(cache.root):
+            print(f"cache: no cache directory at {cache.root} "
+                  "(nothing cached yet)")
+            return
         stats = cache.stats()
+        if stats["entries"] == 0 and stats["stale_entries"] == 0:
+            print(f"cache: empty at {cache.root} (nothing cached yet)")
+            return
         print(f"root          : {stats['root']}")
         print(f"code version  : {stats['version']}")
         print(f"entries       : {stats['entries']} (current version)")
@@ -266,12 +397,22 @@ def main(argv: Optional[List[str]] = None) -> None:
                             "JSON; '.jsonl' suffix selects JSONL)")
     run_p.add_argument("--metrics", action="store_true",
                        help="print the metrics registry after the run")
+    run_p.add_argument("--prom", metavar="PATH", default=None,
+                       help="write the metrics registry in Prometheus "
+                            "text format")
+    run_p.add_argument("--record", metavar="PATH", default=None,
+                       help="export the portable run record (with its "
+                            "provenance manifest) as JSON for `repro diff`")
 
     tl_p = sub.add_parser("timeline",
                           help="run one benchmark, print a text timeline")
     add_run_options(tl_p)
     tl_p.add_argument("--width", type=int, default=72,
                       help="timeline width in columns (default 72)")
+    tl_p.add_argument("--from", dest="from_trace", metavar="PATH",
+                      default=None,
+                      help="render a previously exported trace (JSON or "
+                           "JSONL) instead of re-running the benchmark")
 
     def positive_int(value: str) -> int:
         jobs = int(value)
@@ -283,6 +424,11 @@ def main(argv: Optional[List[str]] = None) -> None:
         p.add_argument("--jobs", type=positive_int, default=None, metavar="N",
                        help="worker processes for uncached runs (default: "
                             "REPRO_JOBS or the CPU count; 1 = serial)")
+        p.add_argument("--progress", action="store_true",
+                       help="stream fleet job events (queued/started/"
+                            "finished/cache-hit, with an ETA) to stderr")
+        p.add_argument("--progress-log", metavar="PATH", default=None,
+                       help="append fleet job events to a JSONL event log")
 
     for name in ("table2", "fig2", "fig3", "fig4", "fig5"):
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
@@ -294,6 +440,36 @@ def main(argv: Optional[List[str]] = None) -> None:
                                if name != "ablations" else "run the ablations")
         if name in ("fig6", "ablations"):
             add_jobs_option(fig_p)
+
+    audit_p = sub.add_parser(
+        "audit", help="audit sampled-profile fidelity against the "
+                      "simulator's exact miss attribution")
+    audit_p.add_argument("benchmark", choices=suite.all_names())
+    audit_p.add_argument("--intervals", default="25K,50K,100K",
+                         help="comma-separated sampling intervals to sweep "
+                              "(default 25K,50K,100K)")
+    audit_p.add_argument("--seed", type=int, default=1)
+    audit_p.add_argument("--top", type=positive_int, default=10,
+                         metavar="N", help="hot-set size for the overlap "
+                                           "coefficient (default 10)")
+    audit_p.add_argument("--event", default="L1D_MISS",
+                         choices=["L1D_MISS", "L2_MISS", "DTLB_MISS"])
+    audit_p.add_argument("--coalloc", action="store_true",
+                         help="audit with co-allocation enabled (default "
+                              "off, the Figure 2 configuration)")
+    audit_p.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the report as JSON")
+
+    diff_p = sub.add_parser(
+        "diff", help="structured diff of two exported run records "
+                     "(exit 1 when significantly different)")
+    diff_p.add_argument("record_a", metavar="A.json")
+    diff_p.add_argument("record_b", metavar="B.json")
+    diff_p.add_argument("--threshold", type=float, default=0.01,
+                        help="relative-delta significance threshold "
+                             "(default 0.01)")
+    diff_p.add_argument("--limit", type=positive_int, default=40,
+                        metavar="N", help="max differences to print")
 
     cache_p = sub.add_parser("cache",
                              help="inspect or clear the persistent "
@@ -310,15 +486,40 @@ def main(argv: Optional[List[str]] = None) -> None:
     if hasattr(args, "benchmarks"):
         args.benchmark_names = _benchmark_list(args.benchmarks)
 
+    progress_sink = None
+    if getattr(args, "progress", False) or getattr(args, "progress_log",
+                                                   None):
+        from repro.harness import engine
+
+        sinks = []
+        if args.progress:
+            sinks.append(engine.StderrProgress())
+        if args.progress_log:
+            try:
+                sinks.append(engine.JsonlProgress(args.progress_log))
+            except OSError as exc:
+                raise SystemExit(f"cannot open progress log "
+                                 f"{args.progress_log!r}: {exc}")
+        progress_sink = engine.TeeProgress(*sinks)
+        engine.set_default_progress(progress_sink)
+
     handlers = {
         "list": cmd_list, "run": cmd_run, "timeline": cmd_timeline,
+        "audit": cmd_audit, "diff": cmd_diff,
         "table1": cmd_table1, "table2": cmd_table2,
         "fig2": cmd_fig2, "fig3": cmd_fig3, "fig4": cmd_fig4,
         "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,
         "fig8": cmd_fig8, "ablations": cmd_ablations,
         "disasm": cmd_disasm, "cache": cmd_cache,
     }
-    handlers[args.command](args)
+    try:
+        handlers[args.command](args)
+    finally:
+        if progress_sink is not None:
+            from repro.harness import engine
+
+            engine.set_default_progress(None)
+            progress_sink.close()
 
 
 if __name__ == "__main__":

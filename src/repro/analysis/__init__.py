@@ -1,0 +1,9 @@
+"""Offline analysis of simulated runs.
+
+Everything in this package is a *consumer* of runs, never a
+participant: the fidelity auditor (:mod:`repro.analysis.fidelity`)
+observes a run through a pure-observer tap, the provenance module
+(:mod:`repro.analysis.provenance`) describes how a record came to be,
+and the differ (:mod:`repro.analysis.diff`) explains how two records
+disagree.  None of them may change a single simulated number.
+"""

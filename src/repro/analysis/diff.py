@@ -1,0 +1,184 @@
+"""Structured run-record diffing with thresholded significance.
+
+``repro diff a.json b.json`` answers the forensic question "why do two
+runs differ?" without eyeballing raw JSON.  The differ walks the
+comparable surfaces of two :class:`~repro.harness.record.RunRecord`\\ s —
+provenance, cycle buckets, hardware counters, GC statistics,
+co-allocation decisions, the revert log, per-field miss series totals,
+compiler map sizes, and the monitoring summary — and classifies each
+difference as *significant* (relative delta above a threshold, or a
+categorical mismatch like a diverging revert log or code version) or
+noise.
+
+Two runs of the same spec + seed are bit-identical by construction, so
+they diff clean at any threshold; two seeds of the same spec differ
+only in sampling jitter, which the differ surfaces as significant
+monitoring/series deltas while the structural surfaces stay quiet.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+from repro.harness.record import RunRecord
+
+#: Default relative-delta significance threshold for numeric surfaces.
+DEFAULT_THRESHOLD = 0.01
+
+#: Provenance keys whose mismatch is categorical (always significant).
+_PROVENANCE_KEYS = ("code_version", "spec_key", "seed", "fastpath",
+                    "record_schema")
+
+
+@dataclass
+class Delta:
+    """One observed difference between two records."""
+
+    path: str          # dotted path, e.g. "counters.L1D_MISS"
+    a: object
+    b: object
+    rel: float         # relative delta (0.0 for categorical surfaces)
+    significant: bool
+
+    def to_json(self) -> dict:
+        return {"path": self.path, "a": self.a, "b": self.b,
+                "rel": self.rel, "significant": self.significant}
+
+
+@dataclass
+class RecordDiff:
+    """All differences between two records, significant ones first."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def significant(self) -> List[Delta]:
+        return [d for d in self.deltas if d.significant]
+
+    def __bool__(self) -> bool:
+        return bool(self.deltas)
+
+    def to_json(self) -> dict:
+        return {"threshold": self.threshold,
+                "differences": len(self.deltas),
+                "significant": len(self.significant),
+                "deltas": [d.to_json() for d in self.deltas]}
+
+
+def _rel_delta(a, b) -> float:
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale else 0.0
+
+
+class _Differ:
+    def __init__(self, threshold: float):
+        self.threshold = threshold
+        self.deltas: List[Delta] = []
+
+    def numeric(self, path: str, a, b) -> None:
+        if a == b:
+            return
+        rel = _rel_delta(a, b)
+        self.deltas.append(Delta(path, a, b, rel,
+                                 significant=rel > self.threshold))
+
+    def categorical(self, path: str, a, b) -> None:
+        if a == b:
+            return
+        self.deltas.append(Delta(path, a, b, 0.0, significant=True))
+
+    def mapping(self, prefix: str, a: dict, b: dict,
+                numeric: bool = True) -> None:
+        for key in sorted(set(a) | set(b), key=str):
+            va, vb = a.get(key, 0), b.get(key, 0)
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)) \
+                    and numeric:
+                self.numeric(f"{prefix}.{key}", va, vb)
+            else:
+                self.categorical(f"{prefix}.{key}", va, vb)
+
+
+def diff_records(a: RunRecord, b: RunRecord,
+                 threshold: float = DEFAULT_THRESHOLD) -> RecordDiff:
+    """Compare two records surface by surface."""
+    d = _Differ(threshold)
+
+    # Provenance: categorical — any mismatch means the runs were not
+    # the same experiment (different code, spec, seed, or interpreter).
+    pa, pb = a.provenance or {}, b.provenance or {}
+    d.categorical("program", a.program, b.program)
+    for key in _PROVENANCE_KEYS:
+        d.categorical(f"provenance.{key}", pa.get(key), pb.get(key))
+
+    # Cycle buckets and instruction counts.
+    for name in ("cycles", "instructions", "app_cycles", "gc_cycles",
+                 "monitoring_cycles"):
+        d.numeric(name, getattr(a, name), getattr(b, name))
+
+    # Hardware counters.
+    d.mapping("counters", a.counters, b.counters)
+
+    # GC statistics, including the co-allocation decisions.
+    d.mapping("gc_stats", asdict(a.gc_stats), asdict(b.gc_stats))
+
+    # Compiled-corpus map sizes.
+    for i, name in enumerate(("machine_code", "gc_maps", "mc_maps")):
+        d.numeric(f"map_sizes.{name}", a.map_sizes[i], b.map_sizes[i])
+
+    # Revert log: a diverging feedback decision is always significant.
+    d.categorical("reverted_experiments",
+                  sorted(a.reverted_experiments),
+                  sorted(b.reverted_experiments))
+
+    # Monitoring summary.
+    d.mapping("monitor_summary",
+              a.monitor_summary or {}, b.monitor_summary or {})
+
+    # Per-field miss series: compare total attributed events per field.
+    totals_a = {name: sum(n for _, n in series)
+                for name, series in a.field_series.items()}
+    totals_b = {name: sum(n for _, n in series)
+                for name, series in b.field_series.items()}
+    d.mapping("field_series", totals_a, totals_b)
+
+    deltas = sorted(d.deltas, key=lambda x: (not x.significant, x.path))
+    return RecordDiff(deltas=deltas, threshold=threshold)
+
+
+def load_record(path: str) -> RunRecord:
+    """Load a record from a JSON file.
+
+    Accepts both the bare record document (``repro run --record``) and
+    the disk-cache entry envelope (``{"version", "spec", "record"}``).
+    """
+    with open(path, "r") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and "record" in doc and "schema" not in doc:
+        doc = doc["record"]
+    return RunRecord.from_json(doc)
+
+
+def format_diff(diff: RecordDiff, a_name: str = "a",
+                b_name: str = "b", limit: Optional[int] = 40) -> str:
+    """Human-readable diff report for the ``repro diff`` subcommand."""
+    sig = diff.significant
+    lines = [f"record diff: {len(diff.deltas)} difference(s), "
+             f"{len(sig)} significant "
+             f"(threshold {diff.threshold:.1%})"]
+    shown = diff.deltas if limit is None else diff.deltas[:limit]
+    for delta in shown:
+        marker = "!" if delta.significant else " "
+        if delta.rel:
+            extra = f"  (delta {delta.rel:.2%})"
+        else:
+            extra = ""
+        lines.append(f"  {marker} {delta.path:<32} "
+                     f"{delta.a!r} -> {delta.b!r}{extra}")
+    if limit is not None and len(diff.deltas) > limit:
+        lines.append(f"  ... {len(diff.deltas) - limit} more")
+    if not diff.deltas:
+        lines.append(f"  {a_name} and {b_name} are identical")
+    return "\n".join(lines)

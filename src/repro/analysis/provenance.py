@@ -1,0 +1,56 @@
+"""Run provenance: where a result came from, pinned to the record.
+
+A :class:`~repro.harness.record.RunRecord` is a pure function of the
+simulator's code and its :class:`~repro.harness.runner.RunSpec`, so two
+records can only legitimately differ when one of those inputs differs.
+The provenance manifest embeds exactly those inputs — code version,
+spec (and its cache key), seed, the resolved fastpath knob, and the
+record schema — so a record on disk is self-explaining: ``repro diff``
+can tell "same experiment, different code" from "same code, different
+seed" without access to the processes that produced either file.
+
+The manifest is deliberately free of wall-clock timestamps, hostnames,
+and process ids: identical runs must produce byte-identical manifests,
+or the disk cache's "cached == recomputed" equality would break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.core.config import fastpath_enabled
+from repro.harness import diskcache
+from repro.harness.record import SCHEMA_VERSION
+
+#: Bump when the manifest layout changes.
+MANIFEST_VERSION = 1
+
+
+def manifest(spec, fastpath: "bool | None" = None) -> dict:
+    """The provenance manifest for one run of ``spec``.
+
+    ``fastpath`` is the knob the run actually used (``None`` resolves
+    the environment default, the same way :func:`fastpath_enabled`
+    does for an execution).
+    """
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "code_version": diskcache.code_version(),
+        "spec": asdict(spec),
+        "spec_key": diskcache.spec_key(spec),
+        "seed": spec.seed,
+        "fastpath": fastpath_enabled(fastpath),
+        "record_schema": SCHEMA_VERSION,
+    }
+
+
+def describe(prov: "dict | None") -> str:
+    """One-line human rendering of a manifest (used by the CLI)."""
+    if not prov:
+        return "no provenance recorded"
+    spec = prov.get("spec", {})
+    return (f"{spec.get('benchmark', '?')} "
+            f"spec={prov.get('spec_key', '?')[:10]} "
+            f"seed={prov.get('seed', '?')} "
+            f"code={prov.get('code_version', '?')} "
+            f"fastpath={'on' if prov.get('fastpath') else 'off'}")

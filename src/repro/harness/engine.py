@@ -20,20 +20,154 @@ Knobs:
 * ``trace_dir`` — when set, every worker builds a
   :class:`~repro.telemetry.Telemetry` bundle for its run and exports a
   per-run Chrome trace into the directory, preserving span export from
-  worker processes.
+  worker processes,
+* ``progress`` — a :class:`ProgressSink` receiving structured job
+  events (queued / started / finished / cache-hit, with an ETA derived
+  from completed-job wall times).  :class:`StderrProgress` renders them
+  as one-line updates, :class:`JsonlProgress` appends them to an
+  append-only JSONL event log, and :func:`set_default_progress`
+  installs a process-wide default so the figure drivers stay
+  signature-stable (the CLI's ``--progress`` / ``--progress-log``).
+
+Progress events carry harness wall-clock times — they describe the
+*fleet*, not the simulation, so they are exempt from (and irrelevant
+to) the simulated-determinism guarantees.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict
-from typing import Iterable, List, Optional
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+from typing import Iterable, List, Optional, TextIO
+
+try:  # Protocol: typing on 3.8+, fallback keeps 3.7 importable
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
 
 from repro.harness import runner
 from repro.harness.diskcache import spec_key
 from repro.harness.record import RunRecord
 from repro.harness.runner import RunSpec
+
+
+# ---------------------------------------------------------------------------
+# Fleet progress
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JobEvent:
+    """One structured fleet event.
+
+    ``kind`` is ``queued`` / ``started`` / ``finished`` / ``cache-hit``.
+    ``wall_s`` (finished only) is the job's wall time; ``eta_s``
+    (finished only) extrapolates the remaining work from the mean wall
+    time of the jobs completed so far.
+    """
+
+    kind: str
+    benchmark: str
+    spec_key: str
+    index: int            # position within this batch (0-based)
+    total: int            # jobs in this batch (cache hits excluded)
+    completed: int = 0    # jobs finished so far, including this one
+    wall_s: Optional[float] = None
+    eta_s: Optional[float] = None
+
+    def to_json(self) -> dict:
+        doc = {"type": "job", "kind": self.kind,
+               "benchmark": self.benchmark, "spec": self.spec_key,
+               "index": self.index, "total": self.total,
+               "completed": self.completed}
+        if self.wall_s is not None:
+            doc["wall_s"] = round(self.wall_s, 4)
+        if self.eta_s is not None:
+            doc["eta_s"] = round(self.eta_s, 1)
+        return doc
+
+
+class ProgressSink(Protocol):
+    """Receiver of :class:`JobEvent` streams."""
+
+    def emit(self, event: JobEvent) -> None:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class StderrProgress:
+    """One line per event on stderr (never stdout: reports stay clean)."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: JobEvent) -> None:
+        parts = [f"[engine] {event.kind:>9} {event.benchmark}"
+                 f" ({event.spec_key[:10]})"]
+        if event.kind == "finished":
+            parts.append(f" {event.completed}/{event.total}")
+            if event.wall_s is not None:
+                parts.append(f" in {event.wall_s:.1f}s")
+            if event.eta_s is not None and event.completed < event.total:
+                parts.append(f", eta {event.eta_s:.0f}s")
+        print("".join(parts), file=self.stream, flush=True)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlProgress:
+    """Append-only JSONL event log (one self-describing object/line)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a")
+
+    def emit(self, event: JobEvent) -> None:
+        self._fh.write(json.dumps(event.to_json()))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class TeeProgress:
+    """Fan one event stream out to several sinks."""
+
+    def __init__(self, *sinks: ProgressSink):
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, event: JobEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+#: Process-wide default sink (installed by the CLI's --progress flags);
+#: an explicit ``progress=`` argument always wins.
+_DEFAULT_PROGRESS: Optional[ProgressSink] = None
+
+
+def set_default_progress(sink: Optional[ProgressSink]) -> None:
+    """Install (or clear, with None) the process-wide progress sink."""
+    global _DEFAULT_PROGRESS
+    _DEFAULT_PROGRESS = sink
+
+
+def _resolve_progress(progress: Optional[ProgressSink]) -> Optional[ProgressSink]:
+    return progress if progress is not None else _DEFAULT_PROGRESS
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -61,7 +195,7 @@ def _run_one(payload) -> dict:
 
         telemetry = Telemetry()
     result = runner.execute(spec, telemetry=telemetry)
-    record = RunRecord.from_result(result)
+    record = runner.record_from_result(spec, result)
     if trace_dir:
         from repro.telemetry.export import write_chrome_trace
 
@@ -73,16 +207,19 @@ def _run_one(payload) -> dict:
 
 
 def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
-              trace_dir: Optional[str] = None) -> List[RunRecord]:
+              trace_dir: Optional[str] = None,
+              progress: Optional[ProgressSink] = None) -> List[RunRecord]:
     """Compute (or recall) records for ``specs``; results in input order.
 
     Every unique uncached spec is simulated exactly once; duplicates and
     cache hits are free.  The round trip through RunRecord JSON is the
     same in the serial and parallel paths, so ``jobs`` can never change
-    a result — only how fast it arrives.
+    a result — only how fast it arrives.  ``progress`` (or the default
+    installed via :func:`set_default_progress`) observes the fleet.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
+    progress = _resolve_progress(progress)
     if trace_dir:
         os.makedirs(trace_dir, exist_ok=True)
 
@@ -93,17 +230,68 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
             seen.add(spec)
             if runner.cached_record(spec) is None:
                 missing.append(spec)
+            elif progress is not None:
+                progress.emit(JobEvent("cache-hit", spec.benchmark,
+                                       spec_key(spec), index=len(seen) - 1,
+                                       total=0))
 
     if missing:
+        total = len(missing)
+        keys = [spec_key(spec) for spec in missing]
+        if progress is not None:
+            for i, spec in enumerate(missing):
+                progress.emit(JobEvent("queued", spec.benchmark, keys[i],
+                                       index=i, total=total))
         payloads = [(asdict(spec), trace_dir) for spec in missing]
-        if jobs == 1 or len(missing) == 1:
-            docs = map(_run_one, payloads)
+        docs: List[Optional[dict]] = [None] * total
+        started = time.monotonic()
+        completed = 0
+
+        def note_finished(i: int, wall_s: float) -> None:
+            nonlocal completed
+            completed += 1
+            if progress is not None:
+                elapsed = time.monotonic() - started
+                eta = elapsed / completed * (total - completed)
+                progress.emit(JobEvent(
+                    "finished", missing[i].benchmark, keys[i], index=i,
+                    total=total, completed=completed, wall_s=wall_s,
+                    eta_s=eta))
+
+        if jobs == 1 or total == 1:
+            for i, payload in enumerate(payloads):
+                if progress is not None:
+                    progress.emit(JobEvent("started", missing[i].benchmark,
+                                           keys[i], index=i, total=total))
+                t0 = time.monotonic()
+                docs[i] = _run_one(payload)
+                note_finished(i, time.monotonic() - t0)
         else:
-            pool = ProcessPoolExecutor(max_workers=min(jobs, len(missing)))
+            pool = ProcessPoolExecutor(max_workers=min(jobs, total))
             with pool:
-                # pool.map preserves input order: collection is
-                # deterministic no matter which worker finishes first.
-                docs = list(pool.map(_run_one, payloads))
+                # Futures are collected as they complete (for live
+                # progress) but installed by input index, so the result
+                # order is deterministic no matter which worker
+                # finishes first.
+                submit_t0 = {}
+                futures = {}
+                for i, payload in enumerate(payloads):
+                    fut = pool.submit(_run_one, payload)
+                    futures[fut] = i
+                    submit_t0[i] = time.monotonic()
+                    if progress is not None:
+                        progress.emit(JobEvent("started",
+                                               missing[i].benchmark,
+                                               keys[i], index=i,
+                                               total=total))
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i = futures[fut]
+                        docs[i] = fut.result()
+                        note_finished(i, time.monotonic() - submit_t0[i])
         for spec, doc in zip(missing, docs):
             runner.store_record(spec, RunRecord.from_json(doc))
 
@@ -111,7 +299,8 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
 
 
 def warm(specs: Iterable[RunSpec], jobs: Optional[int] = None,
-         trace_dir: Optional[str] = None) -> int:
+         trace_dir: Optional[str] = None,
+         progress: Optional[ProgressSink] = None) -> int:
     """Precompute records for ``specs``; returns how many were missing.
 
     After warming, serial harness code (``measure`` loops in the figure
@@ -120,5 +309,5 @@ def warm(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     specs = list(specs)
     uncached = sum(1 for spec in dict.fromkeys(specs)
                    if runner.cached_record(spec) is None)
-    run_specs(specs, jobs=jobs, trace_dir=trace_dir)
+    run_specs(specs, jobs=jobs, trace_dir=trace_dir, progress=progress)
     return uncached

@@ -24,7 +24,7 @@ from repro.core.monitor import moving_average
 from repro.gc.stats import GCStats
 
 #: Bump when the record layout changes; part of the disk-cache key.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -47,6 +47,12 @@ class RunRecord:
     #: Names of feedback experiments that were reverted during the run.
     reverted_experiments: List[str] = field(default_factory=list)
     moving_average_window: int = 3
+    #: Provenance manifest (:mod:`repro.analysis.provenance`): the
+    #: inputs this record is a pure function of — code version, spec +
+    #: spec key, seed, fastpath knob, schema.  Stamped by the harness
+    #: (:func:`repro.harness.runner.record_from_result`); None for
+    #: records built directly from a RunResult.
+    provenance: Optional[dict] = None
 
     # -- RunResult-compatible read surface -----------------------------------
 
@@ -144,6 +150,7 @@ class RunRecord:
             "map_sizes": list(self.map_sizes),
             "reverted_experiments": list(self.reverted_experiments),
             "moving_average_window": self.moving_average_window,
+            "provenance": self.provenance,
         }
 
     @classmethod
@@ -165,4 +172,5 @@ class RunRecord:
             map_sizes=tuple(doc["map_sizes"]),
             reverted_experiments=list(doc["reverted_experiments"]),
             moving_average_window=doc["moving_average_window"],
+            provenance=doc.get("provenance"),
         )

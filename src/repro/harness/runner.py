@@ -158,11 +158,27 @@ def store_record(spec: RunSpec, record: RunRecord) -> None:
         disk.put(spec, record)
 
 
+def record_from_result(spec: RunSpec, result: RunResult,
+                       fastpath: "bool | None" = None) -> RunRecord:
+    """Extract a portable record and stamp its provenance manifest.
+
+    This is the one place records destined for the cache layers are
+    minted (both the serial path here and the worker path in
+    :mod:`repro.harness.engine` go through it), so every stored record
+    carries the inputs it is a pure function of.
+    """
+    from repro.analysis import provenance
+
+    record = RunRecord.from_result(result)
+    record.provenance = provenance.manifest(spec, fastpath)
+    return record
+
+
 def record_for(spec: RunSpec) -> RunRecord:
     """One spec's portable result: memo -> disk -> simulate."""
     record = cached_record(spec)
     if record is None:
-        record = RunRecord.from_result(execute(spec))
+        record = record_from_result(spec, execute(spec))
         store_record(spec, record)
     return record
 

@@ -41,6 +41,12 @@ class MemorySystem:
         # PEBS hook: set via arm_event().
         self._armed_event: Optional[str] = None
         self._pebs_hook: Optional[Callable[[int], None]] = None
+        # Pure-observer hook: set via attach_observer().  Unlike the PEBS
+        # unit it sees *every* occurrence of its event (no interval, no
+        # cost charged), which is what makes it usable as an exact
+        # ground-truth tap for the fidelity auditor.
+        self._observed_event: Optional[str] = None
+        self._observer_hook: Optional[Callable[[int], None]] = None
         # Fast-path state: geometry, latencies, and bound callees hoisted
         # once so the per-access path never chases ``self.config.*`` or
         # rebinds methods (configs are fixed after construction).
@@ -78,6 +84,24 @@ class MemorySystem:
         self._armed_event = None
         self._pebs_hook = None
 
+    # -- exact-observer attachment ------------------------------------------
+
+    def attach_observer(self, event: str, hook: Callable[[int], None]) -> None:
+        """Attach a pure observer: ``hook(eip)`` on *every* ``event``.
+
+        The observer charges no cycles, consumes no randomness, and
+        never touches the counters or the PEBS unit, so attaching one
+        leaves the simulation bit-identical — the invariant the fidelity
+        auditor (:mod:`repro.analysis.fidelity`) relies on and the
+        telemetry tests enforce.
+        """
+        self._observed_event = validate_event(event, pebs=True)
+        self._observer_hook = hook
+
+    def detach_observer(self) -> None:
+        self._observed_event = None
+        self._observer_hook = None
+
     # -- the hot path ---------------------------------------------------------
 
     def access(self, addr: int, is_write: bool, eip: int) -> int:
@@ -99,6 +123,8 @@ class MemorySystem:
                 latency = self._tlb_penalty
                 if self._armed_event == "DTLB_MISS":
                     self._pebs_hook(eip)
+                if self._observed_event == "DTLB_MISS":
+                    self._observer_hook(eip)
             self._last_page = page
 
         # L1 data cache (inlined probe, MRU-first, single scan).
@@ -121,6 +147,8 @@ class MemorySystem:
             ways.pop()
         if self._armed_event == "L1D_MISS":
             self._pebs_hook(eip)
+        if self._observed_event == "L1D_MISS":
+            self._observer_hook(eip)
         latency += self._l1_hit_latency
 
         # L2 unified cache.
@@ -131,6 +159,8 @@ class MemorySystem:
         self.n_l2_miss += 1
         if self._armed_event == "L2_MISS":
             self._pebs_hook(eip)
+        if self._observed_event == "L2_MISS":
+            self._observer_hook(eip)
         latency += self._l2_hit_latency + self._memory_latency
 
         # Miss-stream prefetching into L2.

@@ -16,14 +16,22 @@ Three output forms:
 * **Plain-text timeline** (:func:`format_timeline`) — a terminal Gantt
   chart of per-category occupancy over the run, used by the
   ``python -m repro timeline`` subcommand.
+* **Prometheus text exposition** (:func:`prometheus_text`) — the
+  metrics registry rendered in the Prometheus 0.0.4 text format, for
+  scraping a run's end-state into a production dashboard.  Counters and
+  gauges map directly; power-of-two histograms become cumulative
+  ``_bucket{le=...}`` series.  Metric names are sanitized to the
+  Prometheus grammar, and label values are escaped per the spec.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, List, Optional
 
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
 from repro.telemetry.tracer import Tracer
 
 #: Stable thread-id assignment so traces from different runs line up.
@@ -115,6 +123,76 @@ def write_jsonl(path: str, tracer: Tracer,
         for record in jsonl_records(tracer, metrics):
             fh.write(json.dumps(record))
             fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+#: Characters legal in a Prometheus metric name (after the first char).
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    clean = _PROM_NAME_RE.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return prefix + clean
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text-format spec: backslash,
+    double-quote, and newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_help(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_labels(key: tuple) -> str:
+    return "{" + ",".join(
+        f'label{i}="{_prom_escape(v)}"' for i, v in enumerate(key)) + "}"
+
+
+def prometheus_text(metrics: MetricsRegistry,
+                    prefix: str = "repro_") -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Labeled instruments carry their (positional) label values as
+    ``label0`` / ``label1`` / ... — the registry records values, not
+    label names.  The output ends with a newline, as scrapers expect.
+    """
+    lines: List[str] = []
+    for name, inst in metrics.instruments():
+        pname = _prom_name(name, prefix)
+        if inst.help:
+            lines.append(f"# HELP {pname} {_prom_help(inst.help)}")
+        if isinstance(inst, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in inst.bucket_bounds():
+                cumulative += count
+                lines.append(f'{pname}_bucket{{le="{bound}"}} {cumulative}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {inst.count}')
+            lines.append(f"{pname}_sum {inst.sum}")
+            lines.append(f"{pname}_count {inst.count}")
+            continue
+        kind = "counter" if isinstance(inst, Counter) else "gauge"
+        lines.append(f"# TYPE {pname} {kind}")
+        if inst.value or not inst.children:
+            lines.append(f"{pname} {inst.value}")
+        for key, child in sorted(inst.children.items()):
+            lines.append(f"{pname}{_prom_labels(key)} {child.value}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, metrics: MetricsRegistry,
+                     prefix: str = "repro_") -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(metrics, prefix))
 
 
 # ---------------------------------------------------------------------------

@@ -154,6 +154,10 @@ class MetricsRegistry:
         """Look up an instrument by name (None when absent)."""
         return self._metrics.get(name)
 
+    def instruments(self) -> List[Tuple[str, object]]:
+        """All registered instruments as sorted (name, instrument)."""
+        return sorted(self._metrics.items())
+
     def value(self, name: str, default=None):
         """Convenience: the scalar value of a counter/gauge by name."""
         inst = self._metrics.get(name)

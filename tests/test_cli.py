@@ -101,3 +101,113 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "timeline:" in out
         assert "cycles/column" in out
+
+    def test_timeline_from_exported_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["run", "fop", "--heap-mult", "2", "--trace", str(trace)])
+        capsys.readouterr()
+        main(["timeline", "fop", "--from", str(trace), "--width", "40"])
+        out = capsys.readouterr().out
+        assert "cycles/column" in out
+
+    def test_timeline_from_missing_trace(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["timeline", "fop", "--from", "no/such/trace.json"])
+        assert "no trace at" in str(exc.value)
+
+    def test_run_prom_export(self, tmp_path, capsys):
+        path = tmp_path / "run.prom"
+        main(["run", "fop", "--heap-mult", "2", "--prom", str(path)])
+        out = capsys.readouterr().out
+        assert "prometheus" in out
+        text = path.read_text()
+        assert text.startswith("# HELP repro_")
+        assert "# TYPE repro_vm_cycles gauge" in text
+        assert text.endswith("\n")
+
+    def test_cache_stats_without_cache_dir(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "absent"))
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        main(["cache", "stats"])  # regression: used to KeyError/stack
+        out = capsys.readouterr().out
+        assert "nothing cached yet" in out
+
+
+class TestAuditAndDiff:
+    def test_audit_text_and_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "audit.json"
+        main(["audit", "fop", "--intervals", "25K", "--json", str(path)])
+        out = capsys.readouterr().out
+        assert "fidelity audit: fop" in out
+        assert "m.overlap" in out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] >= 1
+        assert doc["benchmark"] == "fop"
+        assert len(doc["intervals"]) == 1
+        assert doc["intervals"][0]["fidelity"] >= 0.8
+
+    def test_audit_rejects_unknown_interval(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["audit", "fop", "--intervals", "13K"])
+        assert "unknown interval" in str(exc.value)
+
+    @pytest.fixture()
+    def record_pair(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["run", "fop", "--heap-mult", "2", "--record", str(a)])
+        main(["run", "fop", "--heap-mult", "2", "--seed", "2",
+              "--record", str(b)])
+        capsys.readouterr()
+        return str(a), str(b)
+
+    def test_diff_identical_records_exit_zero(self, record_pair, capsys):
+        a, _b = record_pair
+        main(["diff", a, a])  # no SystemExit: clean diff
+        out = capsys.readouterr().out
+        assert "0 significant" in out
+        assert "are identical" in out
+
+    def test_diff_different_seeds_exit_one(self, record_pair, capsys):
+        a, b = record_pair
+        with pytest.raises(SystemExit) as exc:
+            main(["diff", a, b])
+        assert exc.value.code == 1
+        out = capsys.readouterr().out
+        assert "! provenance.seed" in out
+        assert "seed=1" in out and "seed=2" in out
+
+    def test_diff_missing_file(self, record_pair):
+        a, _b = record_pair
+        with pytest.raises(SystemExit) as exc:
+            main(["diff", a, "no/such/record.json"])
+        assert "cannot read" in str(exc.value)
+
+    def test_diff_non_record_json(self, tmp_path, record_pair):
+        a, _b = record_pair
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"surprise": true}')
+        with pytest.raises(SystemExit) as exc:
+            main(["diff", a, str(junk)])
+        assert "not an exported run record" in str(exc.value)
+
+    def test_figure_driver_accepts_progress_flags(self, tmp_path, capsys):
+        from repro.harness import runner
+
+        runner.clear_cache()  # force real jobs, not memo hits
+        log = tmp_path / "events.jsonl"
+        main(["fig4", "--benchmarks", "fop", "--jobs", "1",
+              "--progress", "--progress-log", str(log)])
+        captured = capsys.readouterr()
+        assert "Figure 4" in captured.out
+        assert "[engine]" in captured.err
+        import json
+
+        docs = [json.loads(line)
+                for line in log.read_text().splitlines()]
+        assert docs and all(d["type"] == "job" for d in docs)
+        assert {"queued", "started", "finished"} <= {d["kind"]
+                                                     for d in docs}

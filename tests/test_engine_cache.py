@@ -200,3 +200,132 @@ class TestEngine:
         assert len(m.results) == 3
         cycles = {r.cycles for r in m.results}
         assert len(cycles) >= 1  # seeds may or may not perturb cycles
+
+
+# ---------------------------------------------------------------------------
+# Fleet progress
+# ---------------------------------------------------------------------------
+
+class Recorder:
+    """Test sink: keeps every JobEvent, remembers close()."""
+
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+    def kinds(self):
+        return [e.kind for e in self.events]
+
+
+class TestProgress:
+    def test_serial_event_sequence(self, disk):
+        rec = Recorder()
+        engine.run_specs([CHEAP, CHEAP2], jobs=1, progress=rec)
+        # All queued events first, then started/finished per job.
+        assert rec.kinds() == ["queued", "queued", "started", "finished",
+                               "started", "finished"]
+        finished = [e for e in rec.events if e.kind == "finished"]
+        assert [e.completed for e in finished] == [1, 2]
+        assert all(e.total == 2 for e in rec.events)
+        assert all(e.wall_s is not None and e.wall_s >= 0
+                   for e in finished)
+        assert all(e.eta_s is not None for e in finished)
+        assert finished[-1].eta_s == 0.0, "nothing left after the last job"
+        assert finished[0].benchmark == CHEAP.benchmark
+        assert finished[0].spec_key == spec_key(CHEAP)
+
+    def test_warm_engine_emits_cache_hits_only(self, disk):
+        engine.run_specs([CHEAP, CHEAP2], jobs=1)
+        runner.clear_cache()  # drop memo; disk layer still warm
+        rec = Recorder()
+        engine.run_specs([CHEAP, CHEAP2], jobs=1, progress=rec)
+        assert rec.kinds() == ["cache-hit", "cache-hit"]
+
+    def test_parallel_progress_counts(self, disk):
+        rec = Recorder()
+        records = engine.run_specs([CHEAP, CHEAP2], jobs=2, progress=rec)
+        assert len(records) == 2
+        kinds = rec.kinds()
+        assert kinds.count("queued") == 2
+        assert kinds.count("started") == 2
+        assert kinds.count("finished") == 2
+        completed = sorted(e.completed for e in rec.events
+                           if e.kind == "finished")
+        assert completed == [1, 2]
+
+    def test_event_json_shape(self, disk):
+        rec = Recorder()
+        engine.run_specs([CHEAP], jobs=1, progress=rec)
+        for event in rec.events:
+            doc = event.to_json()
+            assert doc["type"] == "job"
+            assert {"kind", "benchmark", "spec", "index", "total",
+                    "completed"} <= set(doc)
+        finished = rec.events[-1].to_json()
+        assert "wall_s" in finished and "eta_s" in finished
+
+    def test_jsonl_progress_appends(self, tmp_path, disk):
+        path = tmp_path / "logs" / "events.jsonl"  # parent auto-created
+        sink = engine.JsonlProgress(str(path))
+        engine.run_specs([CHEAP], jobs=1, progress=sink)
+        engine.run_specs([CHEAP], jobs=1, progress=sink)  # memo hit
+        sink.close()
+        docs = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert [d["kind"] for d in docs] == ["queued", "started",
+                                             "finished", "cache-hit"]
+        assert all(d["type"] == "job" for d in docs)
+
+    def test_stderr_progress_renders_lines(self, disk):
+        import io
+
+        stream = io.StringIO()
+        engine.run_specs([CHEAP], jobs=1,
+                         progress=engine.StderrProgress(stream))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 3
+        assert all(line.startswith("[engine]") for line in lines)
+        assert "finished fop" in lines[-1] and "1/1" in lines[-1]
+
+    def test_default_sink_installed_and_cleared(self, disk):
+        rec = Recorder()
+        engine.set_default_progress(rec)
+        try:
+            engine.run_specs([CHEAP], jobs=1)
+        finally:
+            engine.set_default_progress(None)
+        assert "finished" in rec.kinds()
+        explicit = Recorder()
+        engine.set_default_progress(rec)
+        try:
+            count = len(rec.events)
+            runner.clear_cache()
+            engine.run_specs([CHEAP], jobs=1, progress=explicit)
+        finally:
+            engine.set_default_progress(None)
+        assert explicit.events, "explicit sink receives the events"
+        assert len(rec.events) == count, "explicit argument beats default"
+        engine.run_specs([CHEAP], jobs=1)
+        assert len(rec.events) == count, "cleared default stays silent"
+
+    def test_tee_fans_out_and_closes(self, disk):
+        a, b = Recorder(), Recorder()
+        tee = engine.TeeProgress(a, b, None)  # None sinks dropped
+        runner.clear_cache(disk=True)
+        engine.run_specs([CHEAP], jobs=1, progress=tee)
+        assert a.kinds() == b.kinds() != []
+        tee.close()
+        assert a.closed and b.closed
+
+    def test_progress_does_not_perturb_results(self, disk):
+        quiet = [r.to_json() for r in engine.run_specs([CHEAP], jobs=1)]
+        runner.clear_cache(disk=True)
+        noisy = [r.to_json() for r in engine.run_specs(
+            [CHEAP], jobs=1, progress=Recorder())]
+        assert noisy == quiet

@@ -1,0 +1,155 @@
+"""Golden-file schema tests for the telemetry exporters.
+
+External consumers parse these formats — Perfetto reads the Chrome
+trace, ``jq``/pandas read the JSONL, a Prometheus scraper reads the
+text exposition — so their shapes are API.  These tests pin the
+required keys and, for the Prometheus output, the exact rendered text.
+"""
+
+import json
+
+from repro.telemetry.export import (chrome_trace, jsonl_records,
+                                    prometheus_text, write_prometheus)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+
+def build_tracer() -> Tracer:
+    clock = {"now": 0}
+    tracer = Tracer(clock=lambda: clock["now"])
+    tracer.begin("gc.minor", cat="gc", pages=3)
+    clock["now"] = 100
+    tracer.end(survivors=7)
+    tracer.instant("interval.adapt", cat="perfmon", interval=50)
+    clock["now"] = 150
+    tracer.sample("buffer.fill", 7, cat="perfmon")
+    return tracer
+
+
+def build_metrics() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.counter("gc.pauses", "GC pauses").inc(3)
+    metrics.gauge("vm.cycles").set(42)
+    hist = metrics.histogram("batch.size", "batch sizes")
+    hist.observe(1)
+    hist.observe(3)
+    hist.observe(3)
+    return metrics
+
+
+class TestChromeTraceSchema:
+    def test_required_keys_per_phase(self):
+        doc = chrome_trace(build_tracer(), build_metrics())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData",
+                            "metrics"}
+        assert doc["otherData"]["clock"] == "simulated cycles"
+        by_ph = {}
+        for ev in doc["traceEvents"]:
+            by_ph.setdefault(ev["ph"], []).append(ev)
+        # Complete spans: name/cat/ts/dur/pid/tid.
+        for ev in by_ph["X"]:
+            assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(ev)
+        # Instants additionally carry a scope.
+        for ev in by_ph["i"]:
+            assert {"name", "cat", "ts", "s"} <= set(ev)
+        # Counter tracks put the value in args.
+        for ev in by_ph["C"]:
+            assert "value" in ev["args"]
+        # Process/thread metadata names every track.
+        names = {ev["args"]["name"] for ev in by_ph["M"]}
+        assert "repro simulated VM" in names
+        assert {"gc", "perfmon"} <= names
+
+    def test_span_args_preserved(self):
+        doc = chrome_trace(build_tracer())
+        span = next(ev for ev in doc["traceEvents"] if ev["ph"] == "X")
+        assert span["args"] == {"pages": 3, "survivors": 7}
+        assert span["ts"] == 0 and span["dur"] == 100
+
+    def test_trace_is_json_serializable(self):
+        json.dumps(chrome_trace(build_tracer(), build_metrics()))
+
+
+class TestJsonlSchema:
+    def test_record_types_and_order(self):
+        records = jsonl_records(build_tracer(), build_metrics())
+        types = [r["type"] for r in records]
+        assert set(types) == {"span", "instant", "sample", "metrics"}
+        assert types[-1] == "metrics", "metrics snapshot closes the stream"
+        stamped = [r["ts"] for r in records if "ts" in r]
+        assert stamped == sorted(stamped)
+
+    def test_required_keys_per_type(self):
+        records = jsonl_records(build_tracer(), build_metrics())
+        required = {"span": {"name", "cat", "ts", "dur", "depth", "args"},
+                    "instant": {"name", "cat", "ts", "args"},
+                    "sample": {"name", "cat", "ts", "value"},
+                    "metrics": {"data"}}
+        for record in records:
+            assert required[record["type"]] <= set(record)
+
+    def test_each_record_is_one_json_line(self):
+        for record in jsonl_records(build_tracer(), build_metrics()):
+            line = json.dumps(record)
+            assert "\n" not in line
+            assert json.loads(line) == record
+
+
+class TestPrometheusFormat:
+    def test_golden_rendering(self):
+        # The exact text a scraper would ingest: instruments in name
+        # order, histograms as cumulative buckets, trailing newline.
+        assert prometheus_text(build_metrics()) == (
+            "# HELP repro_batch_size batch sizes\n"
+            "# TYPE repro_batch_size histogram\n"
+            'repro_batch_size_bucket{le="2"} 1\n'
+            'repro_batch_size_bucket{le="4"} 3\n'
+            'repro_batch_size_bucket{le="+Inf"} 3\n'
+            "repro_batch_size_sum 7\n"
+            "repro_batch_size_count 3\n"
+            "# HELP repro_gc_pauses GC pauses\n"
+            "# TYPE repro_gc_pauses counter\n"
+            "repro_gc_pauses 3\n"
+            "# TYPE repro_vm_cycles gauge\n"
+            "repro_vm_cycles 42\n")
+
+    def test_labeled_children(self):
+        metrics = MetricsRegistry()
+        comp = metrics.counter("jit.compilations")
+        comp.labels("baseline").inc(5)
+        comp.labels("opt").inc(2)
+        text = prometheus_text(metrics)
+        assert 'repro_jit_compilations{label0="baseline"} 5\n' in text
+        assert 'repro_jit_compilations{label0="opt"} 2\n' in text
+        # Zero-valued parent with children: no unlabeled series.
+        assert "\nrepro_jit_compilations 0\n" not in text
+
+    def test_label_value_escaping(self):
+        metrics = MetricsRegistry()
+        metrics.counter("ops").labels('path\\to "x"\nend').inc(1)
+        text = prometheus_text(metrics)
+        assert ('repro_ops{label0="path\\\\to \\"x\\"\\nend"} 1'
+                in text)
+
+    def test_name_sanitizing(self):
+        metrics = MetricsRegistry()
+        metrics.counter("gc.coalloc-rate@heap").inc(1)
+        metrics.gauge("2nd.phase").set(9)
+        text = prometheus_text(metrics)
+        assert "repro_gc_coalloc_rate_heap 1" in text
+        assert "repro__2nd_phase 9" in text, "leading digit guarded"
+
+    def test_help_escaping_and_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c", "line one\nline two \\ end").inc(1)
+        text = prometheus_text(metrics, prefix="x_")
+        assert "# HELP x_c line one\\nline two \\\\ end\n" in text
+
+    def test_ends_with_single_newline(self):
+        text = prometheus_text(build_metrics())
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), build_metrics())
+        assert path.read_text() == prometheus_text(build_metrics())
