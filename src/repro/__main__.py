@@ -6,6 +6,7 @@ list                      the Table 1 benchmarks
 run BENCH [options]       run one benchmark, print the result summary
 timeline BENCH [options]  run one benchmark, print a text trace timeline
 audit BENCH [options]     sampling-fidelity audit vs. exact ground truth
+explain BENCH [options]   justification chain behind an online decision
 diff A.json B.json        structured diff of two exported run records
 table1 | table2           regenerate a table
 fig2 .. fig8              regenerate a figure
@@ -24,6 +25,8 @@ Examples::
     python -m repro run db --heap-mult 4 --coalloc --trace out.json
     python -m repro run db --record db.json --prom db.prom
     python -m repro audit db --json audit.json
+    python -m repro explain db --fig8
+    python -m repro explain db --from db.json --json lineage.json
     python -m repro diff a.json b.json
     python -m repro timeline db --coalloc
     python -m repro fig4 --benchmarks db,pseudojbb,compress --jobs 4
@@ -91,7 +94,15 @@ def cmd_run(args) -> None:
     spec = _run_spec(args)
     telemetry = (Telemetry() if (args.trace or args.metrics or args.prom)
                  else None)
-    result = execute(spec, telemetry=telemetry,
+    # Exported records carry the decision ledger (schema 3), so
+    # `repro explain --from REC.json` and `repro diff` lineage
+    # divergence work on them without re-running anything.
+    lineage = None
+    if args.record:
+        from repro.lineage import DecisionLedger
+
+        lineage = DecisionLedger()
+    result = execute(spec, telemetry=telemetry, lineage=lineage,
                      fastpath=False if args.no_fastpath else None)
     print(f"benchmark            : {result.program}")
     print(f"cycles               : {result.cycles:,}")
@@ -184,7 +195,10 @@ def cmd_timeline(args) -> None:
         except OSError:
             raise SystemExit(f"timeline: no trace at {args.from_trace!r} "
                              "(run `repro run BENCH --trace PATH` first)")
-        except ValueError:
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # Malformed JSON, truncated files, and well-formed JSON of
+            # the wrong shape (a list, spans missing fields, ...) all
+            # land here: a readable message, never a traceback.
             raise SystemExit(f"timeline: {args.from_trace!r} is not an "
                              "exported trace (JSON or JSONL)")
         if not spans:
@@ -305,6 +319,84 @@ def cmd_audit(args) -> None:
         except OSError as exc:
             raise SystemExit(f"cannot write report to {args.json!r}: {exc}")
         print(f"\njson report: {args.json}")
+
+
+def cmd_explain(args) -> None:
+    from repro.lineage import DecisionLedger, explain
+
+    if args.from_record:
+        from repro.analysis.diff import load_record
+
+        try:
+            record = load_record(args.from_record)
+        except OSError as exc:
+            raise SystemExit(
+                f"explain: cannot read {args.from_record!r}: {exc}")
+        except (ValueError, KeyError, TypeError):
+            raise SystemExit(f"explain: {args.from_record!r} is not an "
+                             "exported run record (see `repro run "
+                             "--record`)")
+        doc = record.lineage
+        if not doc:
+            raise SystemExit(f"explain: {args.from_record!r} carries no "
+                             "lineage (re-export it with this version: "
+                             "`repro run BENCH --record PATH`)")
+    elif args.fig8:
+        from repro.harness import experiments as exps
+
+        ledger = DecisionLedger()
+        revert = exps.fig8_revert(args.benchmark, lineage=ledger)
+        doc = ledger.to_json()
+        print(f"fig8 intervention on {revert.benchmark}: gap applied at "
+              f"period {revert.gap_applied_period}, "
+              f"reverted={revert.reverted} "
+              f"(period {revert.reverted_period})\n")
+    else:
+        ledger = DecisionLedger()
+        execute(_run_spec(args), lineage=ledger,
+                fastpath=False if args.no_fastpath else None)
+        doc = ledger.to_json()
+
+    problems = explain.validate(doc)
+    target = explain.find_target(doc, field=args.field, revert=args.revert,
+                                 decision=args.decision)
+    chain = (explain.chain_ids(explain.index_entries(doc), target["id"])
+             if target is not None else [])
+
+    if args.json:
+        import json
+
+        out = {"lineage": doc, "problems": problems,
+               "target": target["id"] if target else None,
+               "chain": chain}
+        try:
+            with open(args.json, "w") as fh:
+                json.dump(out, fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write report to {args.json!r}: {exc}")
+        print(f"json report: {args.json}")
+    if args.dot:
+        try:
+            with open(args.dot, "w") as fh:
+                fh.write(explain.to_dot(doc, chain=chain))
+        except OSError as exc:
+            raise SystemExit(f"cannot write graph to {args.dot!r}: {exc}")
+        print(f"dot graph: {args.dot} (render with `dot -Tsvg`)")
+
+    print(explain.format_summary(doc))
+    if target is None:
+        selector = (f"field {args.field!r}" if args.field
+                    else f"revert #{args.revert}" if args.revert is not None
+                    else f"decision #{args.decision}")
+        raise SystemExit(f"explain: no decision matches {selector}")
+    print(f"\njustification chain for #{target['id']}:")
+    print(explain.format_chain(doc, target))
+    if problems:
+        print("\nlineage INVALID:")
+        for problem in problems:
+            print(f"  {problem}")
+        raise SystemExit(1)
 
 
 def cmd_diff(args) -> None:
@@ -430,16 +522,25 @@ def main(argv: Optional[List[str]] = None) -> None:
         p.add_argument("--progress-log", metavar="PATH", default=None,
                        help="append fleet job events to a JSONL event log")
 
-    for name in ("table2", "fig2", "fig3", "fig4", "fig5"):
-        fig_p = sub.add_parser(name, help=f"regenerate {name}")
-        fig_p.add_argument("--benchmarks", default="",
-                           help="comma-separated subset (default: all 16)")
+    def add_figure_parser(name: str, help: str,
+                          benchmarks: bool = False):
+        """One registration path for every table/figure subcommand:
+        all of them get ``--jobs/--progress/--progress-log`` (handlers
+        that run a single simulation simply ignore the fan-out knobs),
+        and the multi-benchmark ones get ``--benchmarks``."""
+        fig_p = sub.add_parser(name, help=help)
+        if benchmarks:
+            fig_p.add_argument("--benchmarks", default="",
+                               help="comma-separated subset "
+                                    "(default: all 16)")
         add_jobs_option(fig_p)
-    for name in ("table1", "fig6", "fig7", "fig8", "ablations"):
-        fig_p = sub.add_parser(name, help=f"regenerate {name}"
-                               if name != "ablations" else "run the ablations")
-        if name in ("fig6", "ablations"):
-            add_jobs_option(fig_p)
+        return fig_p
+
+    for name in ("table2", "fig2", "fig3", "fig4", "fig5"):
+        add_figure_parser(name, f"regenerate {name}", benchmarks=True)
+    for name in ("table1", "fig6", "fig7", "fig8"):
+        add_figure_parser(name, f"regenerate {name}")
+    add_figure_parser("ablations", "run the ablations")
 
     audit_p = sub.add_parser(
         "audit", help="audit sampled-profile fidelity against the "
@@ -459,6 +560,34 @@ def main(argv: Optional[List[str]] = None) -> None:
                               "off, the Figure 2 configuration)")
     audit_p.add_argument("--json", metavar="PATH", default=None,
                          help="also write the report as JSON")
+
+    explain_p = sub.add_parser(
+        "explain", help="print the justification chain behind an online "
+                        "optimization decision (decision lineage)")
+    add_run_options(explain_p)
+    add_jobs_option(explain_p)
+    source = explain_p.add_mutually_exclusive_group()
+    source.add_argument("--from", dest="from_record", metavar="RECORD.json",
+                        default=None,
+                        help="explain a previously exported run record "
+                             "(`repro run --record`) instead of re-running")
+    source.add_argument("--fig8", action="store_true",
+                        help="run the Figure 8 revert experiment (mid-run "
+                             "gap injection) and explain its decisions")
+    which = explain_p.add_mutually_exclusive_group()
+    which.add_argument("--field", metavar="CLASS::FIELD", default=None,
+                       help="latest decision touching this qualified field")
+    which.add_argument("--revert", type=positive_int, metavar="N",
+                       default=None, help="the N-th revert of the run "
+                                          "(1-based)")
+    which.add_argument("--decision", type=int, metavar="ID", default=None,
+                       help="a specific entry id")
+    explain_p.add_argument("--json", metavar="PATH", default=None,
+                           help="write the full lineage document, "
+                                "validation problems, and chain as JSON")
+    explain_p.add_argument("--dot", metavar="PATH", default=None,
+                           help="write the ledger as a Graphviz digraph "
+                                "with the chain highlighted")
 
     diff_p = sub.add_parser(
         "diff", help="structured diff of two exported run records "
@@ -505,7 +634,7 @@ def main(argv: Optional[List[str]] = None) -> None:
 
     handlers = {
         "list": cmd_list, "run": cmd_run, "timeline": cmd_timeline,
-        "audit": cmd_audit, "diff": cmd_diff,
+        "audit": cmd_audit, "diff": cmd_diff, "explain": cmd_explain,
         "table1": cmd_table1, "table2": cmd_table2,
         "fig2": cmd_fig2, "fig3": cmd_fig3, "fig4": cmd_fig4,
         "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,

@@ -53,6 +53,11 @@ class RecordDiff:
 
     deltas: List[Delta] = field(default_factory=list)
     threshold: float = DEFAULT_THRESHOLD
+    #: First diverging lineage decision (see
+    #: :func:`repro.lineage.explain.first_divergence`): ``{"index",
+    #: "a": {"id", "parents", "summary"}, "b": ...}``, or None when the
+    #: decision streams agree or either record carries no ledger.
+    lineage_divergence: Optional[dict] = None
 
     @property
     def significant(self) -> List[Delta]:
@@ -65,7 +70,8 @@ class RecordDiff:
         return {"threshold": self.threshold,
                 "differences": len(self.deltas),
                 "significant": len(self.significant),
-                "deltas": [d.to_json() for d in self.deltas]}
+                "deltas": [d.to_json() for d in self.deltas],
+                "lineage_divergence": self.lineage_divergence}
 
 
 def _rel_delta(a, b) -> float:
@@ -144,8 +150,22 @@ def diff_records(a: RunRecord, b: RunRecord,
                 for name, series in b.field_series.items()}
     d.mapping("field_series", totals_a, totals_b)
 
+    # Decision lineage: when both records carry a ledger, locate the
+    # first decision where the two runs took different paths — the
+    # forensic answer behind a diverging revert log.
+    divergence = None
+    if a.lineage and b.lineage:
+        from repro.lineage import explain
+
+        divergence = explain.first_divergence(a.lineage, b.lineage)
+        if divergence is not None:
+            d.categorical("lineage.first_divergence",
+                          divergence["a"] and divergence["a"]["summary"],
+                          divergence["b"] and divergence["b"]["summary"])
+
     deltas = sorted(d.deltas, key=lambda x: (not x.significant, x.path))
-    return RecordDiff(deltas=deltas, threshold=threshold)
+    return RecordDiff(deltas=deltas, threshold=threshold,
+                      lineage_divergence=divergence)
 
 
 def load_record(path: str) -> RunRecord:
@@ -181,4 +201,13 @@ def format_diff(diff: RecordDiff, a_name: str = "a",
         lines.append(f"  ... {len(diff.deltas) - limit} more")
     if not diff.deltas:
         lines.append(f"  {a_name} and {b_name} are identical")
+    div = diff.lineage_divergence
+    if div is not None:
+        lines.append(f"first diverging decision (index {div['index']}):")
+        for label, side in ((a_name, div["a"]), (b_name, div["b"])):
+            if side is None:
+                lines.append(f"  {label}: (no further decisions)")
+            else:
+                lines.append(f"  {label}: #{side['id']} {side['summary']}"
+                             f"  (parents {side['parents']})")
     return "\n".join(lines)

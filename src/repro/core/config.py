@@ -298,6 +298,11 @@ class SystemConfig:
     #: spans, and — by the telemetry invariant — bit-identical simulated
     #: cycle counts to an instrumented-but-disabled run.
     telemetry: "object | None" = None
+    #: Optional :class:`repro.lineage.DecisionLedger`.  ``None`` (the
+    #: default) selects the shared null ledger; like telemetry, the
+    #: ledger is a pure observer, so attaching one leaves every
+    #: simulated number bit-identical.
+    lineage: "object | None" = None
 
     def copy(self, **overrides) -> "SystemConfig":
         """Return a shallow copy with ``overrides`` applied."""

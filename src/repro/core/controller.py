@@ -21,6 +21,7 @@ from repro.core.feedback import FeedbackEngine
 from repro.core.mapping import SampleResolver
 from repro.core.monitor import OnlineMonitor
 from repro.jit.codecache import CodeCache, CompiledMethod
+from repro.lineage import NULL_LEDGER
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.model import ClassInfo, FieldInfo
 
@@ -43,13 +44,15 @@ class OnlineOptimizationController:
                  set_sampling_interval: Optional[Callable[[int], None]] = None,
                  auto_interval: bool = False,
                  sampling_switch: Optional[Callable[[bool], None]] = None,
-                 telemetry=None):
+                 telemetry=None, lineage=None):
         self.monitor_config = monitor_config
         self.resolver = SampleResolver(codecache)
         self.monitor = OnlineMonitor(monitor_config)
         self.telemetry = telemetry or NULL_TELEMETRY
+        self.lineage = lineage if lineage is not None else NULL_LEDGER
         self.feedback = FeedbackEngine(self.monitor, monitor_config,
-                                       telemetry=self.telemetry)
+                                       telemetry=self.telemetry,
+                                       lineage=self.lineage)
         self.perfmon_config = perfmon_config
         self._trace = self.telemetry.tracer
         metrics = self.telemetry.metrics
@@ -113,6 +116,7 @@ class OnlineOptimizationController:
         # even under the adaptive interval.
         weight = max(1, self.current_interval)
         record_method = self.monitor.record_method
+        per_field = {} if self.lineage.enabled else None
         for eip in eips:
             resolved = resolve(eip)
             if resolved is not None:
@@ -120,6 +124,17 @@ class OnlineOptimizationController:
                 if resolved.field is not None:
                     record(resolved.field, weight)
                     attributed += 1
+                    if per_field is not None:
+                        acc = per_field.get(resolved.field)
+                        if acc is None:
+                            per_field[resolved.field] = [1, weight]
+                        else:
+                            acc[0] += 1
+                            acc[1] += weight
+        if per_field is not None:
+            self.lineage.attribution(
+                len(eips), attributed, weight,
+                tuple((f, c[0], c[1]) for f, c in per_field.items()))
         self._samples_this_period += len(eips)
         self._attributed_this_period += attributed
         self._m_batches.inc()
@@ -147,7 +162,13 @@ class OnlineOptimizationController:
                             period=len(self.monitor.periods),
                             samples=self._samples_this_period,
                             attributed=self._attributed_this_period)
-        self.monitor.close_period(now_cycle)
+        period = self.monitor.close_period(now_cycle)
+        if self.lineage.enabled:
+            self.lineage.period_close(period.index,
+                                      self._samples_this_period,
+                                      self._attributed_this_period)
+            self.lineage.ranking_snapshot(
+                period.index, self._ranking_for_lineage())
         self.feedback.on_period()
         if self.auto_interval and self._set_interval is not None \
                 and not self.sampling_paused:
@@ -156,6 +177,25 @@ class OnlineOptimizationController:
             self._duty_cycle_tick()
         self._samples_this_period = 0
         self._attributed_this_period = 0
+
+    def _ranking_for_lineage(self, max_classes: int = 16,
+                             max_fields: int = 4) -> tuple:
+        """The hot-field ranking as the ledger records it: the hottest
+        classes (by total estimated events), each with its top fields as
+        ``(field, events, raw_samples)``.  Bounded so a snapshot per
+        period stays cheap on benchmarks with many sampled classes."""
+        monitor = self.monitor
+        ranked = []
+        for klass, per_class in monitor._by_class.items():
+            ranked.append((klass, sum(per_class.values())))
+        ranked.sort(key=lambda kv: -kv[1])
+        out = []
+        for klass, _total in ranked[:max_classes]:
+            fields = tuple(
+                (field, events, monitor.sample_counts.get(field, 0))
+                for field, events in monitor.ranked_fields(klass)[:max_fields])
+            out.append((klass, fields))
+        return tuple(out)
 
     def _duty_cycle_tick(self) -> None:
         """Pause sampling after fruitless periods; re-arm later.

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 from repro.core.config import MonitorConfig
 from repro.core.monitor import OnlineMonitor
+from repro.lineage import NULL_LEDGER
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.model import ClassInfo, FieldInfo
 
@@ -53,17 +54,20 @@ class FeedbackEngine:
     """Judges policy experiments against monitored miss rates."""
 
     def __init__(self, monitor: OnlineMonitor, config: MonitorConfig,
-                 telemetry=None):
+                 telemetry=None, lineage=None):
         self.monitor = monitor
         self.config = config
         self.experiments: List[Experiment] = []
+        self.lineage = lineage if lineage is not None else NULL_LEDGER
         tele = telemetry or NULL_TELEMETRY
         self._trace = tele.tracer
         metrics = tele.metrics
         self._m_started = metrics.counter(
-            "feedback.experiments_started", "policy experiments begun")
+            "feedback.experiments_started",
+            "policy experiments begun, by experiment name")
         self._m_reverts = metrics.counter(
-            "feedback.reverts", "experiments reverted after regression")
+            "feedback.reverts",
+            "experiments reverted after regression, by experiment name")
 
     def begin_experiment(self, name: str, field: FieldInfo,
                          revert: Callable[[], None],
@@ -78,7 +82,11 @@ class FeedbackEngine:
                          baseline_rate=baseline,
                          started_period=len(self.monitor.periods))
         self.experiments.append(exp)
-        self._m_started.inc()
+        self.lineage.experiment_begin(
+            name, field, baseline, exp.started_period,
+            self.monitor.sample_counts.get(field, 0),
+            self.config.revert_threshold, self.config.revert_patience)
+        self._m_started.labels(name).inc()
         self._trace.instant("feedback.experiment_begin", cat="feedback",
                             experiment=name, field=field.qualified_name,
                             baseline_rate=baseline)
@@ -102,6 +110,9 @@ class FeedbackEngine:
                 exp.regressed_periods += 1
             else:
                 exp.regressed_periods = 0
+            self.lineage.experiment_verdict(exp.name, rate, threshold,
+                                            regressed,
+                                            exp.regressed_periods)
             self._trace.instant("feedback.verdict", cat="feedback",
                                 experiment=exp.name, rate=rate,
                                 regressed=regressed,
@@ -111,7 +122,10 @@ class FeedbackEngine:
                 exp.active = False
                 exp.reverted = True
                 exp.reverted_period = current_period
-                self._m_reverts.inc()
+                self.lineage.experiment_revert(
+                    exp.name, exp.field, current_period, rate,
+                    exp.baseline_rate, cfg.revert_threshold)
+                self._m_reverts.labels(exp.name).inc()
                 self._trace.instant("feedback.revert", cat="feedback",
                                     experiment=exp.name,
                                     period=current_period)

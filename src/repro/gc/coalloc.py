@@ -36,10 +36,12 @@ class CoallocationPolicy:
                  max_combined_bytes: int = 4096,
                  gap_bytes: int = 0,
                  enabled: bool = True,
-                 telemetry=None):
+                 telemetry=None, lineage=None):
+        from repro.lineage import NULL_LEDGER
         from repro.telemetry import NULL_TELEMETRY
 
         self.hot_field_provider = hot_field_provider
+        self.lineage = lineage if lineage is not None else NULL_LEDGER
         self.max_combined_bytes = max_combined_bytes
         #: Empty space inserted between parent and child (0 normally;
         #: 128 in Figure 8's deliberately poor configuration).
@@ -93,12 +95,15 @@ class CoallocationPolicy:
             return None
         self.accepted += 1
         self._m_accepted.labels(klass.name, field.name).inc()
+        self.lineage.placement_pending(klass, field, obj.size, child.size,
+                                       self.gap_bytes, combined)
         return child, combined
 
     def set_gap(self, gap_bytes: int) -> None:
         """Change the placement gap (Figure 8's manual intervention)."""
         if gap_bytes < 0:
             raise ValueError("gap must be non-negative")
+        self.lineage.gap_set(self.gap_bytes, gap_bytes)
         self.gap_bytes = gap_bytes
 
 

@@ -94,6 +94,7 @@ class GenMSPlan(Plan):
             gap = self.coalloc.gap_bytes
             obj.address = cell.addr
             child.address = cell.addr + obj.size + gap
+            self.coalloc.lineage.placement_commit(obj.address, child.address)
             obj.space = child.space = SPACE_MATURE
             obj.cell = child.cell = cell
             obj.coallocated = child.coallocated = True

@@ -413,10 +413,17 @@ class RevertResult:
 
 
 def fig8_revert(benchmark: str = "db",
-                intervene_fraction: float = 0.35) -> RevertResult:
+                intervene_fraction: float = 0.35,
+                lineage=None) -> RevertResult:
     """Insert one cache line of empty space between String and char[]
     mid-run; the monitoring feedback must detect the regression and
-    switch back (section 6.4, Figure 8)."""
+    switch back (section 6.4, Figure 8).
+
+    ``lineage`` (an optional :class:`repro.lineage.DecisionLedger`)
+    rides on the intervened VM, so the revert's full justification
+    chain — gap change, experiment baseline, verdicts, revert — is
+    recorded; ``repro explain --fig8`` reads it back.
+    """
     # Expected run length from the normal co-allocation run.
     normal = measure(RunSpec(benchmark=benchmark, heap_mult=4.0,
                              coalloc=True, monitoring=True)).result
@@ -424,7 +431,8 @@ def fig8_revert(benchmark: str = "db",
 
     vm, workload = make_vm(benchmark, RunSpec(benchmark=benchmark,
                                               heap_mult=4.0, coalloc=True,
-                                              monitoring=True))
+                                              monitoring=True),
+                           lineage=lineage)
     fld = vm.program.string_class.field("value")
     state = {"gap_period": -1}
 

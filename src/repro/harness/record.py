@@ -24,7 +24,14 @@ from repro.core.monitor import moving_average
 from repro.gc.stats import GCStats
 
 #: Bump when the record layout changes; part of the disk-cache key.
-SCHEMA_VERSION = 2
+#: Version 3 added the optional ``lineage`` document (the serialized
+#: decision ledger); version-2 records load fine — they simply carry no
+#: lineage — so caches survive the bump.
+SCHEMA_VERSION = 3
+
+#: Schemas :meth:`RunRecord.from_json` accepts.  Older versions listed
+#: here differ only by fields that have safe defaults.
+COMPATIBLE_SCHEMAS = (2, 3)
 
 
 @dataclass
@@ -53,6 +60,10 @@ class RunRecord:
     #: (:func:`repro.harness.runner.record_from_result`); None for
     #: records built directly from a RunResult.
     provenance: Optional[dict] = None
+    #: Serialized decision ledger (:meth:`DecisionLedger.to_json`):
+    #: ``{"schema", "entries", "dropped"}``.  None when the run carried
+    #: no ledger (the default) and for legacy schema-2 records.
+    lineage: Optional[dict] = None
 
     # -- RunResult-compatible read surface -----------------------------------
 
@@ -97,6 +108,9 @@ class RunRecord:
         reverted: List[str] = []
         window = 3
         map_sizes = (0, 0, 0)
+        lineage = None
+        if vm is not None and vm.lineage.enabled:
+            lineage = vm.lineage.to_json()
         if vm is not None:
             from repro.jit.maps import corpus_map_sizes
 
@@ -129,6 +143,7 @@ class RunRecord:
             map_sizes=map_sizes,
             reverted_experiments=reverted,
             moving_average_window=window,
+            lineage=lineage,
         )
 
     # -- JSON round trip -----------------------------------------------------
@@ -151,11 +166,15 @@ class RunRecord:
             "reverted_experiments": list(self.reverted_experiments),
             "moving_average_window": self.moving_average_window,
             "provenance": self.provenance,
+            "lineage": self.lineage,
         }
 
     @classmethod
     def from_json(cls, doc: dict) -> "RunRecord":
-        if doc.get("schema") != SCHEMA_VERSION:
+        if not isinstance(doc, dict):
+            raise ValueError(f"record document must be an object, "
+                             f"got {type(doc).__name__}")
+        if doc.get("schema") not in COMPATIBLE_SCHEMAS:
             raise ValueError(f"unsupported record schema {doc.get('schema')!r}")
         return cls(
             program=doc["program"],
@@ -173,4 +192,5 @@ class RunRecord:
             reverted_experiments=list(doc["reverted_experiments"]),
             moving_average_window=doc["moving_average_window"],
             provenance=doc.get("provenance"),
+            lineage=doc.get("lineage"),
         )

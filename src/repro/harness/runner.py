@@ -116,14 +116,16 @@ def set_disk_cache(cache: Optional[diskcache.DiskCache]) -> None:
     _DISK_RESOLVED = True
 
 
-def execute(spec: RunSpec, telemetry=None, fastpath=None) -> RunResult:
+def execute(spec: RunSpec, telemetry=None, fastpath=None,
+            lineage=None) -> RunResult:
     """Run one spec once (no caching).
 
-    ``telemetry`` and ``fastpath`` ride on the :class:`SystemConfig`,
-    never on the frozen spec, so they cannot pollute the memoization key
-    used by :func:`measure` (nor the disk-cache key): telemetry is a
-    pure observer, and the two interpreters are bit-identical, so a
-    record computed under either knob setting is valid for both.
+    ``telemetry``, ``lineage``, and ``fastpath`` ride on the
+    :class:`SystemConfig`, never on the frozen spec, so they cannot
+    pollute the memoization key used by :func:`measure` (nor the
+    disk-cache key): telemetry and the lineage ledger are pure
+    observers, and the two interpreters are bit-identical, so a record
+    computed under any knob setting is valid for all of them.
     """
     global SIM_RUNS
     if spec.interval not in INTERVAL_NAMES:
@@ -133,6 +135,8 @@ def execute(spec: RunSpec, telemetry=None, fastpath=None) -> RunResult:
     config = spec.system_config(workload.min_heap_bytes)
     if telemetry is not None:
         config.telemetry = telemetry
+    if lineage is not None:
+        config.lineage = lineage
     if fastpath is not None:
         config.fastpath = fastpath
     return run_program(workload.program, config, compilation_plan=workload.plan)
@@ -217,7 +221,8 @@ def clear_cache(disk: bool = False) -> None:
 
 
 def make_vm(benchmark: str, spec: Optional[RunSpec] = None,
-            telemetry=None, fastpath=None) -> Tuple[VM, object]:
+            telemetry=None, fastpath=None,
+            lineage=None) -> Tuple[VM, object]:
     """Build a VM without running it (for experiments that intervene
     mid-run, like Figure 8's manual gap insertion).
 
@@ -228,6 +233,8 @@ def make_vm(benchmark: str, spec: Optional[RunSpec] = None,
     config = spec.system_config(workload.min_heap_bytes)
     if telemetry is not None:
         config.telemetry = telemetry
+    if lineage is not None:
+        config.lineage = lineage
     if fastpath is not None:
         config.fastpath = fastpath
     vm = VM(workload.program, config, compilation_plan=workload.plan)

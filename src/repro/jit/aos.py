@@ -70,6 +70,21 @@ class AdaptiveOptimizationSystem:
             self._decided.add(method)
             self._pending.append(method)
 
+    def decision_stats(self, method: MethodInfo) -> Tuple[int, float, float]:
+        """The cost/benefit arithmetic for ``method`` *right now*:
+        ``(sample_count, estimated_benefit, estimated_cost)`` in cycles.
+
+        This is the exact justification a recompilation decision rests
+        on, exposed so the decision-lineage ledger can record it.
+        """
+        cfg = self.config
+        count = self.samples.get(method, 0)
+        past_cycles = count * cfg.aos_timer_cycles
+        future_cycles = past_cycles
+        benefit = future_cycles * (1.0 - 1.0 / cfg.opt_speedup)
+        cost = float(cfg.opt_cost_per_bc * len(method.code))
+        return count, benefit, cost
+
     def _worth_optimizing(self, method: MethodInfo, count: int) -> bool:
         """Jikes-style static cost/benefit model.
 
@@ -78,11 +93,7 @@ class AdaptiveOptimizationSystem:
         assumption); the benefit is the fraction saved by the opt
         compiler's speedup; the cost is proportional to bytecode size.
         """
-        cfg = self.config
-        past_cycles = count * cfg.aos_timer_cycles
-        future_cycles = past_cycles
-        benefit = future_cycles * (1.0 - 1.0 / cfg.opt_speedup)
-        cost = cfg.opt_cost_per_bc * len(method.code)
+        _, benefit, cost = self.decision_stats(method)
         return benefit > cost
 
     def poll_decisions(self) -> List[MethodInfo]:

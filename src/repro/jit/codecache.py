@@ -64,6 +64,9 @@ class CompiledMethod:
         self.hir = hir
         self.code_addr = 0  # assigned by the code cache
         self.translation = None  # built by repro.hw.translate on demand
+        #: callv sites converted to direct calls by the opt compiler
+        #: (0 for baseline code); read by the decision-lineage ledger.
+        self.devirt_sites = 0
         self.bc_map: List[int] = [inst.bc_index for inst in code]
         self.ir_map: List[Optional[int]] = [inst.ir_id for inst in code]
 

@@ -50,8 +50,7 @@ def compile_opt(method: MethodInfo, *, inline: bool = True,
         if shadow is not None:
             source = shadow
     func = build_hir(source)
-    if devirt:
-        devirtualize(func)
+    devirt_sites = devirtualize(func) if devirt else 0
     optimize(func)
     code, reg_count = lower(func)
     ref_vregs = {v for v, types in func.vreg_types.items() if "r" in types}
@@ -59,5 +58,7 @@ def compile_opt(method: MethodInfo, *, inline: bool = True,
     # Opt code keeps everything in registers: no frame-memory slots.
     # The compiled method's identity stays the *original* method even
     # when the HIR came from the inlined shadow.
-    return CompiledMethod(method, LEVEL_OPT, code, reg_count,
-                          frame_words=0, gc_maps=gc_maps, hir=func)
+    cm = CompiledMethod(method, LEVEL_OPT, code, reg_count,
+                        frame_words=0, gc_maps=gc_maps, hir=func)
+    cm.devirt_sites = devirt_sites
+    return cm

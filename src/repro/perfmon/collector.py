@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.config import PerfmonConfig
+from repro.lineage import NULL_LEDGER
 from repro.perfmon.userlib import UserSampleLibrary
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.scheduler import VirtualTimeScheduler
@@ -29,11 +30,12 @@ class CollectorThread:
     def __init__(self, userlib: UserSampleLibrary,
                  deliver: Callable[[List[int]], object],
                  scheduler: VirtualTimeScheduler,
-                 config: PerfmonConfig, telemetry=None):
+                 config: PerfmonConfig, telemetry=None, lineage=None):
         self.userlib = userlib
         self.deliver = deliver
         self.scheduler = scheduler
         self.config = config
+        self._lineage = lineage if lineage is not None else NULL_LEDGER
         self.poll_interval = config.poll_min_cycles * 4
         self.polls = 0
         self.samples_delivered = 0
@@ -67,6 +69,7 @@ class CollectorThread:
         self._trace.begin("collector.drain", cat="perfmon")
         eips = self.userlib.read_samples_with_fill()
         if eips:
+            self._lineage.sample_batch(len(eips), "drain")
             self.deliver(eips)
             self.samples_delivered += len(eips)
             self._m_delivered.inc(len(eips))
@@ -83,6 +86,7 @@ class CollectorThread:
         self._trace.begin("collector.poll", cat="perfmon")
         eips = self.userlib.read_samples_with_fill()
         if eips:
+            self._lineage.sample_batch(len(eips), "poll")
             self.deliver(eips)
             self.samples_delivered += len(eips)
             self._m_delivered.inc(len(eips))

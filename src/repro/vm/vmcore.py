@@ -45,6 +45,7 @@ from repro.jit.aos import AdaptiveOptimizationSystem, CompilationPlan
 from repro.jit.baseline import compile_baseline
 from repro.jit.codecache import CodeCache, CompiledMethod
 from repro.jit.opt import compile_opt
+from repro.lineage import NULL_LEDGER
 from repro.perfmon.collector import CollectorThread
 from repro.perfmon.kernel import PerfmonKernelModule
 from repro.perfmon.userlib import UserSampleLibrary
@@ -100,6 +101,12 @@ class VM:
         #: charges cycles or consumes randomness).  Defaults to the
         #: shared null instance, which records nothing.
         self.telemetry = self.config.telemetry or NULL_TELEMETRY
+        #: Decision lineage: the second pure observer — an append-only
+        #: ledger linking every online-optimization decision back to
+        #: the sample evidence that justified it.
+        # Explicit None check: an empty ledger is falsy (len() == 0).
+        self.lineage = (self.config.lineage
+                        if self.config.lineage is not None else NULL_LEDGER)
 
         # Hardware.
         self.counters = EventCounters()
@@ -119,7 +126,7 @@ class VM:
             provider = hot_field_override or self._hot_field
             self.coalloc_policy = CoallocationPolicy(
                 provider, max_combined_bytes=self.config.gc.max_cell_bytes,
-                telemetry=self.telemetry)
+                telemetry=self.telemetry, lineage=self.lineage)
         hooks = GCHooks(roots=self._gc_roots, charge=self._charge_gc,
                         pollute_minor=self.memsys.pollute_minor,
                         pollute_full=self.memsys.pollute_full)
@@ -130,8 +137,9 @@ class VM:
         self.cpu = CPU(self.config.machine, self.memsys, runtime=self,
                        scheduler=self.scheduler,
                        fastpath=self.config.fastpath)
-        # Trace timestamps come from the simulated cycle clock.
+        # Trace and ledger timestamps come from the simulated cycle clock.
         self.telemetry.bind_clock(lambda: self.cpu.cycles)
+        self.lineage.bind_clock(lambda: self.cpu.cycles)
         self.method_profiler = None
         if self.config.method_profiling:
             from repro.core.counting import MethodProfiler
@@ -182,7 +190,7 @@ class VM:
             set_sampling_interval=session.set_interval,
             auto_interval=cfg.sampling_interval is None,
             sampling_switch=sampling_switch,
-            telemetry=self.telemetry)
+            telemetry=self.telemetry, lineage=self.lineage)
         self.controller.current_interval = interval
         self.userlib = UserSampleLibrary(session, cfg.perfmon,
                                          charge=self._charge_monitoring,
@@ -190,7 +198,8 @@ class VM:
         self.collector = CollectorThread(self.userlib,
                                          self.controller.process_samples,
                                          self.scheduler, cfg.perfmon,
-                                         telemetry=self.telemetry)
+                                         telemetry=self.telemetry,
+                                         lineage=self.lineage)
 
     # -- cycle buckets ---------------------------------------------------------------
 
@@ -256,7 +265,8 @@ class VM:
             self.controller.on_method_compiled(cm)
         return cm
 
-    def opt_compile(self, method: MethodInfo) -> CompiledMethod:
+    def opt_compile(self, method: MethodInfo,
+                    reason: str = "manual") -> CompiledMethod:
         """Recompile at the optimizing level; new calls use the new code."""
         with self.telemetry.tracer.span("jit.compile_opt", cat="jit",
                                         method=method.qualified_name):
@@ -267,6 +277,10 @@ class VM:
             self.codecache.install(cm)
             self._charge_compile(
                 self.config.jit.opt_cost_per_bc * max(1, len(method.code)))
+        if self.lineage.enabled:
+            samples, benefit, cost = self.aos.decision_stats(method)
+            self.lineage.recompile(method, reason, samples, benefit, cost,
+                                   cm.devirt_sites)
         if method.current_code is not None:
             self.codecache.note_replaced(method.current_code)
         method.opt_code = cm
@@ -290,7 +304,7 @@ class VM:
         method = frames[-1].cm.method if frames else None
         self.aos.sample(method)
         for decided in self.aos.poll_decisions():
-            self.opt_compile(decided)
+            self.opt_compile(decided, reason="aos")
 
     # -- execution ------------------------------------------------------------------------
 
@@ -306,7 +320,7 @@ class VM:
             wanted = set(self.compilation_plan.opt_methods)
             for method in self.program.all_methods():
                 if method.qualified_name in wanted:
-                    self.opt_compile(method)
+                    self.opt_compile(method, reason="plan")
         else:
             self.scheduler.every(0, self.config.jit.aos_timer_cycles,
                                  self._aos_tick)

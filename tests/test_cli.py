@@ -115,6 +115,36 @@ class TestObservability:
             main(["timeline", "fop", "--from", "no/such/trace.json"])
         assert "no trace at" in str(exc.value)
 
+    def test_timeline_from_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated")
+        with pytest.raises(SystemExit) as exc:
+            main(["timeline", "fop", "--from", str(bad)])
+        assert "not an exported trace" in str(exc.value)
+
+    def test_timeline_from_wrong_shape_json(self, tmp_path):
+        # Well-formed JSON that is not a trace document: a bare list
+        # (used to escape as an AttributeError traceback).
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(SystemExit) as exc:
+            main(["timeline", "fop", "--from", str(bad)])
+        assert "not an exported trace" in str(exc.value)
+
+    def test_timeline_from_malformed_jsonl(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"}\nnot json at all\n')
+        with pytest.raises(SystemExit) as exc:
+            main(["timeline", "fop", "--from", str(bad)])
+        assert "not an exported trace" in str(exc.value)
+
+    def test_timeline_from_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        main(["timeline", "fop", "--from", str(empty)])
+        out = capsys.readouterr().out
+        assert "no spans" in out
+
     def test_run_prom_export(self, tmp_path, capsys):
         path = tmp_path / "run.prom"
         main(["run", "fop", "--heap-mult", "2", "--prom", str(path)])
@@ -211,3 +241,85 @@ class TestAuditAndDiff:
         assert docs and all(d["type"] == "job" for d in docs)
         assert {"queued", "started", "finished"} <= {d["kind"]
                                                      for d in docs}
+
+
+class TestExplainCli:
+    @pytest.fixture()
+    def record_with_lineage(self, tmp_path, capsys):
+        path = tmp_path / "rec.json"
+        main(["run", "fop", "--heap-mult", "2", "--coalloc",
+              "--record", str(path)])
+        capsys.readouterr()
+        return str(path)
+
+    def test_explain_fresh_run(self, capsys):
+        main(["explain", "fop", "--heap-mult", "2", "--coalloc"])
+        out = capsys.readouterr().out
+        assert "lineage:" in out
+        assert "justification chain for #" in out
+
+    def test_explain_from_record(self, record_with_lineage, tmp_path,
+                                 capsys):
+        out_json = tmp_path / "lineage.json"
+        out_dot = tmp_path / "lineage.dot"
+        main(["explain", "fop", "--from", record_with_lineage,
+              "--json", str(out_json), "--dot", str(out_dot)])
+        out = capsys.readouterr().out
+        assert "justification chain for #" in out
+        import json
+
+        doc = json.loads(out_json.read_text())
+        assert doc["problems"] == []
+        assert doc["target"] in doc["chain"]
+        ids = {e["id"] for e in doc["lineage"]["entries"]}
+        assert all(p in ids for e in doc["lineage"]["entries"]
+                   for p in e["parents"])
+        assert out_dot.read_text().startswith("digraph lineage {")
+
+    def test_explain_record_without_lineage(self, tmp_path, capsys):
+        # Legacy-shaped record: strip the lineage field.
+        import json
+
+        path = tmp_path / "rec.json"
+        main(["run", "fop", "--heap-mult", "2", "--record", str(path)])
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        doc["lineage"] = None
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", "fop", "--from", str(path)])
+        assert "carries no lineage" in str(exc.value)
+
+    def test_explain_missing_record(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", "fop", "--from", "no/such/rec.json"])
+        assert "cannot read" in str(exc.value)
+
+    def test_explain_non_record_json(self, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("[]")
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", "fop", "--from", str(junk)])
+        assert "not an exported run record" in str(exc.value)
+
+    def test_explain_unmatched_selector(self, record_with_lineage):
+        with pytest.raises(SystemExit) as exc:
+            main(["explain", "fop", "--from", record_with_lineage,
+                  "--revert", "7"])
+        assert "no decision matches revert #7" in str(exc.value)
+
+    def test_explain_field_selector(self, record_with_lineage, capsys):
+        # Pick any decision field present in the record, then ask for it.
+        import json
+
+        from repro.lineage.ledger import DECISION_KINDS
+
+        doc = json.loads(open(record_with_lineage).read())["lineage"]
+        fields = [e["field"] for e in doc["entries"]
+                  if e["kind"] in DECISION_KINDS and e.get("field")]
+        if not fields:
+            pytest.skip("record has no field-bearing decision")
+        main(["explain", "fop", "--from", record_with_lineage,
+              "--field", fields[-1]])
+        out = capsys.readouterr().out
+        assert fields[-1] in out

@@ -34,6 +34,11 @@ def build_metrics() -> MetricsRegistry:
     hist.observe(1)
     hist.observe(3)
     hist.observe(3)
+    # A labeled counter, the shape the feedback engine emits per
+    # experiment name.
+    metrics.counter("feedback.reverts",
+                    "experiments reverted after regression, "
+                    "by experiment name").labels("gap-128").inc()
     return metrics
 
 
@@ -107,6 +112,10 @@ class TestPrometheusFormat:
             'repro_batch_size_bucket{le="+Inf"} 3\n'
             "repro_batch_size_sum 7\n"
             "repro_batch_size_count 3\n"
+            "# HELP repro_feedback_reverts experiments reverted after "
+            "regression, by experiment name\n"
+            "# TYPE repro_feedback_reverts counter\n"
+            'repro_feedback_reverts{label0="gap-128"} 1\n'
             "# HELP repro_gc_pauses GC pauses\n"
             "# TYPE repro_gc_pauses counter\n"
             "repro_gc_pauses 3\n"
