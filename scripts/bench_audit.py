@@ -1,52 +1,23 @@
 #!/usr/bin/env python3
-"""Run the sampling-fidelity audit end-to-end; validate and time it.
+"""Back-compat wrapper over ``repro bench`` case ``audit``.
 
-CI's audit-smoke job runs ``repro audit`` on a small benchmark,
-validates the JSON report against the schema the auditor promises
-(``fidelity.AUDIT_SCHEMA_VERSION``), asserts the paper-level acceptance
-properties — top-N hot-method overlap at the densest interval, fidelity
-monotonically non-increasing as the interval grows — and lands the wall
-time in a JSON report (``BENCH_audit.json``) that CI uploads as an
-artifact next to the audit report itself.
+Runs the sampling-fidelity audit, asserts the report schema and the
+paper-level acceptance properties (hot-set overlap floor at the
+densest interval, monotone non-increasing fidelity), and writes the
+same ``BENCH_audit.json`` / ``AUDIT_report.json`` artifact names CI
+has always uploaded.  The measurement itself lives in
+:mod:`repro.bench.cases`; prefer ``python -m repro bench run audit``.
 
 Run:  PYTHONPATH=src python scripts/bench_audit.py
 """
 
 import argparse
-import json
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.analysis import fidelity  # noqa: E402
-
-REQUIRED_INTERVAL_KEYS = {
-    "interval", "scaled_interval", "cycles", "monitoring_cycles",
-    "overhead", "samples_taken", "exact_events", "exact_attributed",
-    "sampled_attributed", "fidelity", "method_overlap", "field_overlap",
-    "method_spearman", "field_spearman", "field_abs_error",
-    "top_methods_exact", "top_methods_sampled", "top_fields_exact",
-    "top_fields_sampled",
-}
-
-
-def validate(doc: dict, intervals) -> None:
-    assert doc["schema"] == fidelity.AUDIT_SCHEMA_VERSION, \
-        f"schema {doc['schema']} != {fidelity.AUDIT_SCHEMA_VERSION}"
-    assert [ia["interval"] for ia in doc["intervals"]] == list(intervals)
-    for entry in doc["intervals"]:
-        missing = REQUIRED_INTERVAL_KEYS - set(entry)
-        assert not missing, f"interval entry missing keys: {missing}"
-        assert 0.0 <= entry["overhead"] < 1.0
-        assert entry["exact_events"] >= entry["samples_taken"]
-    first = doc["intervals"][0]
-    assert first["fidelity"] >= 0.8, \
-        f"hot-method overlap {first['fidelity']} < 0.8 at {first['interval']}"
-    scores = [ia["fidelity"] for ia in doc["intervals"]]
-    assert all(a >= b for a, b in zip(scores, scores[1:])), \
-        f"fidelity not monotone non-increasing: {scores}"
+from repro.bench import cli as bench_cli  # noqa: E402
 
 
 def main() -> int:
@@ -57,36 +28,14 @@ def main() -> int:
                         help="audit report path (default AUDIT_report.json)")
     parser.add_argument("--out", default="BENCH_audit.json",
                         help="timing report path (default BENCH_audit.json)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="also append the run to this bench history")
     args = parser.parse_args()
 
-    intervals = fidelity.DEFAULT_INTERVALS
-    start = time.perf_counter()
-    report = fidelity.audit_benchmark(args.benchmark, intervals=intervals)
-    elapsed = time.perf_counter() - start
-    doc = report.to_json()
-    validate(doc, intervals)
-
-    with open(args.report, "w") as fh:
-        json.dump(doc, fh, indent=1)
-        fh.write("\n")
-    print(fidelity.format_report(report))
-    print(f"\naudit OK: {len(doc['intervals'])} intervals in {elapsed:.2f}s"
-          f" -> {args.report}")
-
-    bench = {
-        "benchmark": args.benchmark,
-        "intervals": list(intervals),
-        "audit_wall_s": round(elapsed, 3),
-        "fidelity_by_interval": {ia["interval"]: ia["fidelity"]
-                                 for ia in doc["intervals"]},
-        "overhead_by_interval": {ia["interval"]: round(ia["overhead"], 6)
-                                 for ia in doc["intervals"]},
-    }
-    with open(args.out, "w") as fh:
-        json.dump(bench, fh, indent=1)
-        fh.write("\n")
-    print(f"timing report -> {args.out}")
-    return 0
+    return bench_cli.run_gate(
+        "audit",
+        {"benchmark": args.benchmark, "report": args.report},
+        out=args.out, history_path=args.history)
 
 
 if __name__ == "__main__":

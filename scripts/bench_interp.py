@@ -1,45 +1,22 @@
 #!/usr/bin/env python3
-"""Time the reference interpreter vs the closure-threaded fast path.
+"""Back-compat wrapper over ``repro bench`` case ``interp``.
 
-CI's benchmark-timing job runs one benchmark under both interpreters
-(disk cache disabled, so both really simulate), checks the two
-RunRecords are bit-identical (as JSON), and fails if the translated
-path's speedup falls below ``--min-speedup`` (default 1.5x) — the
-regression guard for the simulator's own hot loop.  Timings land in a
-JSON report (``BENCH_interp.json``) that CI uploads as an artifact.
-
-Unlike the engine benchmark, the speedup here *is* asserted: both runs
-execute the same guest work on the same core back to back, so the ratio
-is stable even on busy runners.
+Times the reference interpreter vs the closure-threaded fast path,
+asserts bit-identity and the speedup floor, and writes the same
+``BENCH_interp.json`` artifact name CI has always uploaded.  The
+measurement itself lives in :mod:`repro.bench.cases`; prefer
+``python -m repro bench run interp`` directly.
 
 Run:  PYTHONPATH=src python scripts/bench_interp.py
 """
 
 import argparse
-import json
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.harness import runner  # noqa: E402
-from repro.harness.record import RunRecord  # noqa: E402
-from repro.harness.runner import RunSpec  # noqa: E402
-
-
-def timed_run(spec, fastpath, repeats):
-    """Best-of-``repeats`` wall time; returns (record JSON, seconds)."""
-    best = None
-    doc = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = runner.execute(spec, fastpath=fastpath)
-        elapsed = time.perf_counter() - start
-        doc = RunRecord.from_result(result).to_json()
-        if best is None or elapsed < best:
-            best = elapsed
-    return doc, best
+from repro.bench import cli as bench_cli  # noqa: E402
 
 
 def main() -> int:
@@ -52,52 +29,15 @@ def main() -> int:
                         help="fail below this translated/reference ratio")
     parser.add_argument("--out", default="BENCH_interp.json",
                         help="report path (default BENCH_interp.json)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="also append the run to this bench history")
     args = parser.parse_args()
 
-    # Both modes must simulate: no disk layer, fresh memo.
-    runner.set_disk_cache(None)
-    runner.clear_cache()
-
-    spec = RunSpec(benchmark=args.benchmark, monitoring=True)
-    ref_doc, ref_s = timed_run(spec, False, args.repeats)
-    print(f"reference interpreter : {ref_s:7.2f}s "
-          f"({ref_doc['instructions']:,} instructions)")
-    fast_doc, fast_s = timed_run(spec, True, args.repeats)
-    print(f"translated fast path  : {fast_s:7.2f}s")
-
-    if fast_doc != ref_doc:
-        print("FAIL: fast-path record differs from reference record",
-              file=sys.stderr)
-        for key in ref_doc:
-            if ref_doc[key] != fast_doc[key]:
-                print(f"  first differing field: {key}", file=sys.stderr)
-                break
-        return 1
-    print("OK: records bit-identical across interpreters")
-
-    speedup = ref_s / fast_s if fast_s else float("inf")
-    mips = fast_doc["instructions"] / fast_s / 1e6 if fast_s else None
-    report = {
-        "benchmark": args.benchmark,
-        "instructions": ref_doc["instructions"],
-        "repeats": args.repeats,
-        "reference_seconds": round(ref_s, 3),
-        "fastpath_seconds": round(fast_s, 3),
-        "speedup": round(speedup, 3),
-        "fastpath_mips": round(mips, 3) if mips else None,
-        "min_speedup": args.min_speedup,
-        "identical": True,
-    }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(f"report -> {args.out} (speedup {report['speedup']}x, "
-          f"{report['fastpath_mips']} MIPS)")
-
-    if speedup < args.min_speedup:
-        print(f"FAIL: speedup {speedup:.2f}x below the "
-              f"{args.min_speedup}x floor", file=sys.stderr)
-        return 1
-    return 0
+    return bench_cli.run_gate(
+        "interp",
+        {"benchmark": args.benchmark, "repeats": args.repeats,
+         "min_speedup": args.min_speedup},
+        out=args.out, history_path=args.history)
 
 
 if __name__ == "__main__":

@@ -1,56 +1,22 @@
 #!/usr/bin/env python3
-"""Gate the decision-lineage ledger's overhead and pure-observer claim.
+"""Back-compat wrapper over ``repro bench`` case ``lineage``.
 
-The ledger is advertised as a pure observer: attaching it must not
-change a single simulated cycle, and its host-side (wall clock) cost
-must stay within a small constant factor of a ledger-off run.  CI's
-benchmark-timing job runs this script, which
-
-  1. runs the same spec with the ledger off and on (best-of-N wall
-     time each),
-  2. asserts bit-identity across every simulated surface (cycles,
-     instructions, cycle buckets, hardware counters, GC summary,
-     monitoring summary, PEBS samples taken),
-  3. asserts the captured ledger is non-trivial and internally valid
-     (``explain.validate`` finds no problems), and
-  4. asserts wall-time ratio ledger-on / ledger-off <= the gate
-     (default 1.10), then writes ``BENCH_lineage.json``.
+Gates the decision-lineage ledger's pure-observer claim (bit-identical
+simulated state with the ledger attached) and its host-side overhead
+ceiling, and writes the same ``BENCH_lineage.json`` artifact name CI
+has always uploaded.  The measurement itself lives in
+:mod:`repro.bench.cases`; prefer ``python -m repro bench run lineage``.
 
 Run:  PYTHONPATH=src python scripts/bench_lineage.py
 """
 
 import argparse
-import json
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.harness.runner import RunSpec, execute  # noqa: E402
-from repro.lineage import DecisionLedger, explain  # noqa: E402
-
-
-def run_once(spec, ledger=None):
-    start = time.perf_counter()
-    result = execute(spec, lineage=ledger)
-    return time.perf_counter() - start, result
-
-
-def fingerprint(result) -> dict:
-    """Every simulated surface the ledger must leave untouched."""
-    vm = result.vm
-    return {
-        "cycles": result.cycles,
-        "instructions": result.instructions,
-        "app_cycles": result.app_cycles,
-        "gc_cycles": result.gc_cycles,
-        "monitoring_cycles": result.monitoring_cycles,
-        "counters": dict(result.counters),
-        "gc_summary": result.gc_stats.summary(),
-        "monitor_summary": result.monitor_summary,
-        "samples_taken": vm.pebs.samples_taken,
-    }
+from repro.bench import cli as bench_cli  # noqa: E402
 
 
 def main() -> int:
@@ -64,58 +30,15 @@ def main() -> int:
                              "(default 1.10)")
     parser.add_argument("--out", default="BENCH_lineage.json",
                         help="report path (default BENCH_lineage.json)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="also append the run to this bench history")
     args = parser.parse_args()
 
-    spec = RunSpec(benchmark=args.benchmark, coalloc=True)
-
-    off_times, on_times = [], []
-    off_fp = on_fp = None
-    ledger_doc = None
-    for _ in range(args.repeats):
-        t_off, r_off = run_once(spec)
-        t_on, r_on = run_once(spec, ledger=DecisionLedger())
-        off_times.append(t_off)
-        on_times.append(t_on)
-        off_fp = fingerprint(r_off)
-        on_fp = fingerprint(r_on)
-        ledger_doc = r_on.vm.lineage.to_json()
-
-    # 1. Pure observer: bit-identical simulated state.
-    for key in off_fp:
-        assert off_fp[key] == on_fp[key], (
-            f"ledger perturbed simulated state: {key}: "
-            f"{off_fp[key]!r} != {on_fp[key]!r}")
-
-    # 2. The ledger actually observed the run, and its DAG is valid.
-    n_entries = len(ledger_doc["entries"])
-    assert n_entries > 0, "ledger recorded nothing"
-    problems = explain.validate(ledger_doc)
-    assert not problems, f"ledger invalid: {problems}"
-
-    # 3. Host-side overhead gate (best-of-N to damp scheduler noise).
-    best_off, best_on = min(off_times), min(on_times)
-    ratio = best_on / best_off
-    assert ratio <= args.max_ratio, (
-        f"ledger overhead {ratio:.3f}x exceeds gate {args.max_ratio:.2f}x "
-        f"(off {best_off:.2f}s, on {best_on:.2f}s)")
-
-    bench = {
-        "benchmark": args.benchmark,
-        "repeats": args.repeats,
-        "wall_off_s": round(best_off, 3),
-        "wall_on_s": round(best_on, 3),
-        "overhead_ratio": round(ratio, 4),
-        "max_ratio": args.max_ratio,
-        "ledger_entries": n_entries,
-        "ledger_dropped": ledger_doc["dropped"],
-        "bit_identical": True,
-    }
-    with open(args.out, "w") as fh:
-        json.dump(bench, fh, indent=1)
-        fh.write("\n")
-    print(f"lineage OK: {n_entries} entries, overhead {ratio:.3f}x "
-          f"(gate {args.max_ratio:.2f}x), bit-identical -> {args.out}")
-    return 0
+    return bench_cli.run_gate(
+        "lineage",
+        {"benchmark": args.benchmark, "repeats": args.repeats,
+         "max_ratio": args.max_ratio},
+        out=args.out, history_path=args.history)
 
 
 if __name__ == "__main__":

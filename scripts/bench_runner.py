@@ -1,42 +1,22 @@
 #!/usr/bin/env python3
-"""Time the experiment engine serial vs parallel; assert identical results.
+"""Back-compat wrapper over ``repro bench`` case ``runner``.
 
-CI's benchmark-timing job runs a small figure subset twice from a cold
-cache — once with ``--jobs 1`` (the plain serial path) and once with
-``--jobs N`` — checks that every record is bit-identical between the two
-runs (as JSON), then replays the suite against the warm disk cache and
-checks it performs zero simulation work.  Timings land in a JSON report
-(``BENCH_runner.json``) that CI uploads as an artifact.
-
-The speedup is reported, not asserted: a busy or single-core runner can
-legitimately see none, and correctness (identical records, zero-work
-replay) is the part that must never regress.
+Times the experiment engine cold-serial vs cold-parallel, asserts the
+records are bit-identical and that a warm-cache replay performs zero
+simulation work, and writes the same ``BENCH_runner.json`` artifact
+name CI has always uploaded.  The measurement itself lives in
+:mod:`repro.bench.cases`; prefer ``python -m repro bench run runner``.
 
 Run:  PYTHONPATH=src python scripts/bench_runner.py --jobs 4
 """
 
 import argparse
-import json
 import os
 import sys
-import tempfile
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.harness import engine, runner  # noqa: E402
-from repro.harness import experiments as ex  # noqa: E402
-from repro.harness.diskcache import DiskCache  # noqa: E402
-
-
-def timed_cold_run(specs, jobs, cache_root):
-    """Run every spec from nothing; return (records as JSON, seconds)."""
-    runner.clear_cache()
-    runner.set_disk_cache(DiskCache(root=cache_root))
-    start = time.perf_counter()
-    records = engine.run_specs(specs, jobs=jobs)
-    elapsed = time.perf_counter() - start
-    return [r.to_json() for r in records], elapsed
+from repro.bench import cli as bench_cli  # noqa: E402
 
 
 def main() -> int:
@@ -47,57 +27,15 @@ def main() -> int:
                         help="parallel worker count (default: CPU count)")
     parser.add_argument("--out", default="BENCH_runner.json",
                         help="report path (default BENCH_runner.json)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="also append the run to this bench history")
     args = parser.parse_args()
 
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
-    jobs = engine.resolve_jobs(args.jobs)
-    specs = ex.figure_specs(benchmarks, heap_mults=(1.0, 4.0))
-    print(f"{len(specs)} specs over {benchmarks}, parallel jobs={jobs}")
-
-    with tempfile.TemporaryDirectory(prefix="bench-serial-") as serial_root, \
-            tempfile.TemporaryDirectory(prefix="bench-par-") as par_root:
-        serial_docs, serial_s = timed_cold_run(specs, 1, serial_root)
-        print(f"serial   (--jobs 1): {serial_s:7.2f}s cold")
-        parallel_docs, parallel_s = timed_cold_run(specs, jobs, par_root)
-        print(f"parallel (--jobs {jobs}): {parallel_s:7.2f}s cold")
-
-        if serial_docs != parallel_docs:
-            print("FAIL: parallel records differ from serial records",
-                  file=sys.stderr)
-            return 1
-        print("OK: parallel records bit-identical to serial")
-
-        # Warm replay: the same suite from the parallel run's disk cache,
-        # fresh memo — must simulate nothing.
-        runner.clear_cache()
-        runner.set_disk_cache(DiskCache(root=par_root))
-        sims_before = runner.SIM_RUNS
-        start = time.perf_counter()
-        engine.run_specs(specs, jobs=1)
-        warm_s = time.perf_counter() - start
-        warm_sims = runner.SIM_RUNS - sims_before
-        print(f"warm replay        : {warm_s:7.2f}s, "
-              f"{warm_sims} simulations")
-        if warm_sims != 0:
-            print("FAIL: warm cache replay performed simulation work",
-                  file=sys.stderr)
-            return 1
-
-    report = {
-        "benchmarks": benchmarks,
-        "specs": len(specs),
-        "jobs": jobs,
-        "serial_seconds": round(serial_s, 3),
-        "parallel_seconds": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-        "warm_replay_seconds": round(warm_s, 3),
-        "warm_replay_simulations": warm_sims,
-        "identical": True,
-    }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(f"report -> {args.out} (speedup {report['speedup']}x)")
-    return 0
+    return bench_cli.run_gate(
+        "runner",
+        {"benchmarks": benchmarks, "jobs": args.jobs},
+        out=args.out, history_path=args.history)
 
 
 if __name__ == "__main__":

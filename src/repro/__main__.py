@@ -8,10 +8,20 @@ timeline BENCH [options]  run one benchmark, print a text trace timeline
 audit BENCH [options]     sampling-fidelity audit vs. exact ground truth
 explain BENCH [options]   justification chain behind an online decision
 diff A.json B.json        structured diff of two exported run records
+bench list|run|history|compare|profile|migrate
+                          host-side performance observatory (see below)
 table1 | table2           regenerate a table
 fig2 .. fig8              regenerate a figure
 ablations                 run the ablation experiments
 cache stats | clear       inspect or drop the persistent result cache
+
+``bench`` runs the registered host-side benchmark cases (the CI perf
+gates) with warmup/repeats and robust stats, appends every run to the
+persistent ``results/bench_history.jsonl`` trajectory, scores runs
+against a baseline window with improved/ok/regressed verdicts
+(``compare`` exits nonzero on a regression), and self-profiles any
+case into a subsystem wall-time attribution table plus collapsed
+stacks for flamegraph.pl/speedscope (``profile``).
 
 Table/figure commands accept ``--jobs N`` to fan uncached runs across N
 worker processes (default: ``REPRO_JOBS`` or the CPU count; ``--jobs 1``
@@ -32,6 +42,9 @@ Examples::
     python -m repro fig4 --benchmarks db,pseudojbb,compress --jobs 4
     python -m repro fig6 --progress
     python -m repro cache stats
+    python -m repro bench run --all --json BENCH_report.json
+    python -m repro bench compare --from BENCH_report.json
+    python -m repro bench profile interp --collapsed interp.collapsed
 """
 
 from __future__ import annotations
@@ -92,7 +105,9 @@ def cmd_run(args) -> None:
                                         write_prometheus)
 
     spec = _run_spec(args)
-    telemetry = (Telemetry() if (args.trace or args.metrics or args.prom)
+    telemetry = (Telemetry()
+                 if (args.trace or args.metrics or args.prom
+                     or args.collapsed)
                  else None)
     # Exported records carry the decision ledger (schema 3), so
     # `repro explain --from REC.json` and `repro diff` lineage
@@ -137,6 +152,17 @@ def cmd_run(args) -> None:
         except OSError as exc:
             raise SystemExit(f"cannot write metrics to {args.prom!r}: {exc}")
         print(f"prometheus           : {args.prom}")
+    if telemetry is not None and args.collapsed:
+        from repro.telemetry.export import collapsed_stacks, write_collapsed
+
+        try:
+            lines = write_collapsed(args.collapsed,
+                                    collapsed_stacks(telemetry.tracer))
+        except OSError as exc:
+            raise SystemExit(f"cannot write collapsed stacks to "
+                             f"{args.collapsed!r}: {exc}")
+        print(f"collapsed            : {args.collapsed} ({lines} stacks; "
+              "feed to flamegraph.pl or speedscope)")
     if args.record:
         import json
 
@@ -422,6 +448,20 @@ def cmd_diff(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_bench(args) -> None:
+    from repro.bench import cli as bench_cli
+
+    handlers = {
+        "list": bench_cli.cmd_list,
+        "run": bench_cli.cmd_run,
+        "history": bench_cli.cmd_history,
+        "compare": bench_cli.cmd_compare,
+        "profile": bench_cli.cmd_profile,
+        "migrate": bench_cli.cmd_migrate,
+    }
+    handlers[args.bench_command](args)
+
+
 def cmd_cache(args) -> None:
     from repro.harness import runner
     from repro.harness.diskcache import DiskCache, cache_enabled
@@ -495,6 +535,10 @@ def main(argv: Optional[List[str]] = None) -> None:
     run_p.add_argument("--record", metavar="PATH", default=None,
                        help="export the portable run record (with its "
                             "provenance manifest) as JSON for `repro diff`")
+    run_p.add_argument("--collapsed", metavar="PATH", default=None,
+                       help="export the span trace as collapsed stacks "
+                            "(flamegraph.pl / speedscope input, weighted "
+                            "by simulated self-cycles)")
 
     tl_p = sub.add_parser("timeline",
                           help="run one benchmark, print a text timeline")
@@ -605,6 +649,109 @@ def main(argv: Optional[List[str]] = None) -> None:
                                   "result cache")
     cache_p.add_argument("cache_command", choices=["stats", "clear"])
 
+    bench_p = sub.add_parser(
+        "bench", help="host-side performance observatory: run the "
+                      "registered benchmark cases, track history, "
+                      "score regressions, self-profile")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+
+    from repro.bench.history import DEFAULT_HISTORY
+
+    def add_bench_history_option(p) -> None:
+        p.add_argument("--history", metavar="PATH", default=DEFAULT_HISTORY,
+                       help=f"bench trajectory file "
+                            f"(default {DEFAULT_HISTORY})")
+
+    def add_bench_exec_options(p) -> None:
+        p.add_argument("cases", nargs="*", metavar="CASE",
+                       help="case names (see `bench list`)")
+        p.add_argument("--all", action="store_true",
+                       help="run every registered case")
+        p.add_argument("--param", action="append", metavar="KEY=VALUE",
+                       help="override a case parameter (value parsed as "
+                            "JSON when possible; repeatable)")
+        p.add_argument("--repeats", type=positive_int, default=None,
+                       metavar="N", help="timed repetitions per case "
+                                         "(default: per-case)")
+        p.add_argument("--warmup", type=int, default=None, metavar="N",
+                       help="discarded warmup runs per case (default: "
+                            "per-case)")
+        p.add_argument("--out-dir", metavar="DIR", default=None,
+                       help="directory for BENCH_<case>.json artifacts "
+                            "(default: current directory)")
+        p.add_argument("--no-artifacts", action="store_true",
+                       help="skip writing BENCH_<case>.json artifacts")
+        p.add_argument("--no-history", action="store_true",
+                       help="do not append this run to the history")
+        p.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full run report as JSON")
+        add_bench_history_option(p)
+
+    bench_sub.add_parser("list", help="list the registered cases, their "
+                                      "gates, and primary metrics")
+
+    bench_run_p = bench_sub.add_parser(
+        "run", help="execute cases with warmup/repeats; exit 1 on any "
+                    "gate failure")
+    add_bench_exec_options(bench_run_p)
+
+    bench_hist_p = bench_sub.add_parser(
+        "history", help="show the recorded bench trajectory")
+    bench_hist_p.add_argument("--case", metavar="NAME", default=None,
+                              help="restrict to one case")
+    bench_hist_p.add_argument("--limit", type=positive_int, default=20,
+                              metavar="N",
+                              help="show the last N entries (default 20)")
+    bench_hist_p.add_argument("--json", action="store_true",
+                              help="print the raw entries as JSON")
+    add_bench_history_option(bench_hist_p)
+
+    bench_cmp_p = bench_sub.add_parser(
+        "compare", help="score a run against the baseline window; exit 1 "
+                        "on a regressed or invalid verdict")
+    add_bench_exec_options(bench_cmp_p)
+    bench_cmp_p.add_argument("--from", dest="from_report",
+                             metavar="REPORT.json", default=None,
+                             help="score a previously written `bench run "
+                                  "--json` report instead of re-running")
+    bench_cmp_p.add_argument("--window", type=positive_int, default=5,
+                             metavar="N",
+                             help="baseline window: median of the last N "
+                                  "compatible entries (default 5)")
+    bench_cmp_p.add_argument("--threshold", type=float, default=None,
+                             help="override every case's relative verdict "
+                                  "threshold")
+    bench_cmp_p.add_argument("--baseline-code", metavar="VERSION",
+                             default=None,
+                             help="only accept baseline entries from this "
+                                  "code version")
+
+    bench_prof_p = bench_sub.add_parser(
+        "profile", help="run one case under cProfile: subsystem wall-time "
+                        "attribution + collapsed stacks")
+    bench_prof_p.add_argument("case", metavar="CASE")
+    bench_prof_p.add_argument("--param", action="append",
+                              metavar="KEY=VALUE",
+                              help="override a case parameter (repeatable)")
+    bench_prof_p.add_argument("--warmup", type=int, default=0, metavar="N",
+                              help="discarded warmup runs before profiling")
+    bench_prof_p.add_argument("--top", type=positive_int, default=12,
+                              metavar="N",
+                              help="subsystem rows to print (default 12)")
+    bench_prof_p.add_argument("--collapsed", metavar="PATH", default=None,
+                              help="write collapsed stacks (flamegraph.pl "
+                                   "/ speedscope input)")
+    bench_prof_p.add_argument("--json", metavar="PATH", default=None,
+                              help="write the attribution report as JSON")
+
+    bench_mig_p = bench_sub.add_parser(
+        "migrate", help="seed the history from legacy flat BENCH_*.json "
+                        "artifacts (one-shot shim)")
+    bench_mig_p.add_argument("paths", nargs="*", metavar="BENCH_*.json",
+                             help="artifacts to migrate (default: "
+                                  "BENCH_*.json in . and results/)")
+    add_bench_history_option(bench_mig_p)
+
     dis_p = sub.add_parser("disasm", help="disassemble a benchmark method")
     dis_p.add_argument("benchmark", choices=suite.all_names())
     dis_p.add_argument("method", help="qualified name, e.g. App.scan")
@@ -639,7 +786,7 @@ def main(argv: Optional[List[str]] = None) -> None:
         "fig2": cmd_fig2, "fig3": cmd_fig3, "fig4": cmd_fig4,
         "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,
         "fig8": cmd_fig8, "ablations": cmd_ablations,
-        "disasm": cmd_disasm, "cache": cmd_cache,
+        "disasm": cmd_disasm, "cache": cmd_cache, "bench": cmd_bench,
     }
     try:
         handlers[args.command](args)

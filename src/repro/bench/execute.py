@@ -1,0 +1,93 @@
+"""Case execution: warmup, repeats, robust wall-time statistics.
+
+:func:`run_case` is the one way a :class:`~repro.bench.registry.
+BenchCase` is executed — the CLI, the back-compat scripts, and the
+profiler all come through here, so every run gets the same cache
+hygiene (fresh in-process memo, no ambient disk layer) and the same
+measurement protocol: ``warmup`` discarded runs, then ``repeats``
+timed runs summarized by :func:`repro.bench.stats.robust_stats`.
+Metrics come from the **last** timed repetition; the wall-time
+statistics cover all of them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.registry import BenchCase
+from repro.bench.stats import robust_stats
+
+
+@dataclass
+class CaseRun:
+    """One executed case: resolved params, metrics, gates, verdict."""
+
+    case: BenchCase
+    params: Dict[str, object]
+    metrics: Dict[str, object]
+    wall: Dict[str, float]
+    gates: List[dict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(g["passed"] for g in self.gates)
+
+    @property
+    def primary_value(self):
+        return self.metrics.get(self.case.primary_metric)
+
+
+def run_case(case: BenchCase,
+             overrides: Optional[Dict[str, object]] = None,
+             repeats: Optional[int] = None,
+             warmup: Optional[int] = None) -> CaseRun:
+    """Execute ``case`` and evaluate its gates.
+
+    The harness runner's global cache state is snapshotted around the
+    run: cases are free to install their own disk caches or clear the
+    memo, and unit tests (which pin their own state) see none of it
+    afterwards.
+    """
+    from repro.harness import runner
+
+    params = case.resolve_params(overrides)
+    n_repeats = case.default_repeats if repeats is None else max(1, repeats)
+    n_warmup = case.default_warmup if warmup is None else max(0, warmup)
+
+    runner.clear_cache()
+    runner.set_disk_cache(None)
+    try:
+        for _ in range(n_warmup):
+            case.run(dict(params))
+        walls: List[float] = []
+        metrics: Dict[str, object] = {}
+        for _ in range(n_repeats):
+            start = time.perf_counter()
+            metrics = case.run(dict(params))
+            walls.append(time.perf_counter() - start)
+    finally:
+        runner.clear_cache()
+        runner.set_disk_cache(None)
+    gates = case.evaluate_gates(metrics, params)
+    return CaseRun(case=case, params=params, metrics=metrics,
+                   wall=robust_stats(walls), gates=gates)
+
+
+def run_cases(cases: List[BenchCase],
+              overrides: Optional[Dict[str, object]] = None,
+              repeats: Optional[int] = None,
+              warmup: Optional[int] = None) -> List[CaseRun]:
+    """Run several cases; per-case overrides keep only declared keys.
+
+    ``overrides`` is shared across the selection, so keys are filtered
+    per case (strict checking happens in the CLI, which knows the full
+    selection and can reject keys *no* selected case declares).
+    """
+    runs = []
+    for case in cases:
+        mine = {k: v for k, v in (overrides or {}).items()
+                if k in case.params}
+        runs.append(run_case(case, mine, repeats=repeats, warmup=warmup))
+    return runs

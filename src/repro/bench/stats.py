@@ -1,0 +1,51 @@
+"""Robust summary statistics for noisy wall-time samples.
+
+Benchmark wall times on shared machines are contaminated by scheduler
+noise that is strictly additive and heavy-tailed, so the summary the
+bench subsystem stores is built from order statistics: the **median**
+(the value half the repeats beat), the **MAD** (median absolute
+deviation — a dispersion measure a single outlier cannot inflate), and
+the **min** (the least-disturbed observation, the classic
+best-of-N choice for back-to-back A/B timing).  Mean and max ride
+along for completeness.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Dict, Sequence
+
+
+def robust_stats(samples: Sequence[float]) -> Dict[str, float]:
+    """Summarize ``samples`` as ``{n, median, mad, min, max, mean}``.
+
+    An empty sequence yields ``n == 0`` with every statistic ``nan``
+    rather than raising — history entries must always be writable.
+    """
+    values = [float(v) for v in samples]
+    if not values:
+        nan = float("nan")
+        return {"n": 0, "median": nan, "mad": nan, "min": nan,
+                "max": nan, "mean": nan}
+    med = statistics.median(values)
+    mad = statistics.median(abs(v - med) for v in values)
+    return {
+        "n": len(values),
+        "median": med,
+        "mad": mad,
+        "min": min(values),
+        "max": max(values),
+        "mean": statistics.fmean(values),
+    }
+
+
+def is_finite_number(value) -> bool:
+    """True for int/float values usable as a comparison metric.
+
+    Booleans are numbers to Python but verdict ratios over them are
+    meaningless, so they are excluded; NaN and infinities are too.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value)

@@ -22,6 +22,14 @@ Three output forms:
   gauges map directly; power-of-two histograms become cumulative
   ``_bucket{le=...}`` series.  Metric names are sanitized to the
   Prometheus grammar, and label values are escaped per the spec.
+* **Collapsed stacks** (:func:`collapsed_stacks` /
+  :func:`format_collapsed`) — the span tree folded into Brendan
+  Gregg's one-line-per-stack format (``frame;frame;frame weight``),
+  directly consumable by ``flamegraph.pl`` and speedscope.  Weights
+  are **self** cycles: each span's duration minus its children's, so
+  the flame graph's column widths sum to traced time exactly.  The
+  same formatter renders the host-side cProfile stacks produced by
+  ``repro bench profile``.
 """
 
 from __future__ import annotations
@@ -193,6 +201,72 @@ def write_prometheus(path: str, metrics: MetricsRegistry,
                      prefix: str = "repro_") -> None:
     with open(path, "w") as fh:
         fh.write(prometheus_text(metrics, prefix))
+
+
+# ---------------------------------------------------------------------------
+# Collapsed stacks (flamegraph.pl / speedscope)
+# ---------------------------------------------------------------------------
+
+def _collapsed_frame(cat: str, name: str) -> str:
+    """One frame label: spaces separate stack from weight, semicolons
+    separate frames, so neither may appear inside a frame.  Span names
+    that already carry their category prefix (``gc.minor`` in cat
+    ``gc``) are not double-prefixed."""
+    label = name if name.startswith(cat + ".") else f"{cat}.{name}"
+    return label.replace(" ", "_").replace(";", ":")
+
+
+def collapsed_stacks(tracer: Tracer) -> Dict[tuple, int]:
+    """Fold the recorded span tree into ``{(frame, ...): self_cycles}``.
+
+    Frames are ``cat.name``.  Nesting is reconstructed from each
+    span's recorded depth (spans arrive in end order; sorting by start
+    time plus the depth invariant recovers the tree), and every span
+    contributes its *self* time — duration minus enclosed children —
+    to the stack ending at it.
+    """
+    out: Dict[tuple, int] = {}
+    stack: List[list] = []  # [span, child_cycles]
+
+    def pop() -> None:
+        span, child_cycles = stack.pop()
+        self_cycles = max(span.dur - child_cycles, 0)
+        if stack:
+            stack[-1][1] += span.dur
+        if self_cycles > 0:
+            path = tuple(_collapsed_frame(s.cat, s.name)
+                         for s, _ in stack) + (
+                _collapsed_frame(span.cat, span.name),)
+            out[path] = out.get(path, 0) + self_cycles
+
+    for ev in sorted(tracer.spans, key=lambda e: (e.ts, e.depth, -e.dur)):
+        while len(stack) > ev.depth:
+            pop()
+        stack.append([ev, 0])
+    while stack:
+        pop()
+    return out
+
+
+def format_collapsed(stacks: Dict[tuple, int]) -> str:
+    """Render ``{path_tuple: weight}`` in the collapsed-stack format.
+
+    One ``frame;frame;frame weight`` line per stack, sorted by path
+    for determinism; zero- and negative-weight stacks are dropped.
+    The result ends with a newline when non-empty.
+    """
+    lines = [f"{';'.join(path)} {int(weight)}"
+             for path, weight in sorted(stacks.items())
+             if int(weight) > 0]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_collapsed(path: str, stacks: Dict[tuple, int]) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    text = format_collapsed(stacks)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text.count("\n")
 
 
 # ---------------------------------------------------------------------------

@@ -7,9 +7,12 @@ required keys and, for the Prometheus output, the exact rendered text.
 """
 
 import json
+import re
 
-from repro.telemetry.export import (chrome_trace, jsonl_records,
-                                    prometheus_text, write_prometheus)
+from repro.telemetry.export import (chrome_trace, collapsed_stacks,
+                                    format_collapsed, jsonl_records,
+                                    prometheus_text, write_collapsed,
+                                    write_prometheus)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 
@@ -98,6 +101,74 @@ class TestJsonlSchema:
             line = json.dumps(record)
             assert "\n" not in line
             assert json.loads(line) == record
+
+
+def build_nested_tracer() -> Tracer:
+    """One outer vm span [0, 100) containing two children."""
+    clock = {"now": 0}
+    tracer = Tracer(clock=lambda: clock["now"])
+    tracer.begin("outer", cat="vm")
+    clock["now"] = 10
+    tracer.begin("vm.inner", cat="vm")   # already category-prefixed
+    clock["now"] = 30
+    tracer.end()
+    clock["now"] = 40
+    tracer.begin("gc.minor", cat="gc")
+    clock["now"] = 50
+    tracer.end()
+    clock["now"] = 100
+    tracer.end()
+    tracer.instant("interval.adapt", cat="perfmon")  # instants are ignored
+    return tracer
+
+
+class TestCollapsedStacks:
+    def test_self_time_folding(self):
+        # Outer runs 100 cycles; children cover 20 + 10, so its self
+        # weight is 70 and each child stack carries its own duration.
+        stacks = collapsed_stacks(build_nested_tracer())
+        assert stacks == {
+            ("vm.outer",): 70,
+            ("vm.outer", "vm.inner"): 20,
+            ("vm.outer", "gc.minor"): 10,
+        }
+
+    def test_category_prefix_not_doubled(self):
+        stacks = collapsed_stacks(build_nested_tracer())
+        assert ("vm.outer", "vm.inner") in stacks, \
+            "span names already carrying their category keep one prefix"
+        assert not any("vm.vm." in frame
+                       for path in stacks for frame in path)
+
+    def test_frame_sanitization(self):
+        clock = {"now": 0}
+        tracer = Tracer(clock=lambda: clock["now"])
+        tracer.begin("weird name;x", cat="vm")
+        clock["now"] = 5
+        tracer.end()
+        stacks = collapsed_stacks(tracer)
+        assert list(stacks) == [("vm.weird_name:x",)]
+
+    def test_format_is_flamegraph_grammar(self):
+        text = format_collapsed(collapsed_stacks(build_nested_tracer()))
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines == sorted(lines), "deterministic path order"
+        for line in lines:
+            assert re.match(r"^\S+(;\S+)* \d+$", line), line
+
+    def test_zero_weight_stacks_dropped(self):
+        assert format_collapsed({("a",): 5, ("b",): 0, ("c",): -3}) \
+            == "a 5\n"
+        assert format_collapsed({}) == ""
+
+    def test_write_collapsed_returns_line_count(self, tmp_path):
+        path = tmp_path / "out.collapsed"
+        count = write_collapsed(str(path),
+                                collapsed_stacks(build_nested_tracer()))
+        assert count == 3
+        assert path.read_text() \
+            == format_collapsed(collapsed_stacks(build_nested_tracer()))
 
 
 class TestPrometheusFormat:
