@@ -22,8 +22,13 @@ from typing import Dict
 from repro.bench.registry import BenchCase, Gate, register
 
 
-def _timed_interp_run(spec, fastpath: bool, repeats: int):
-    """Best-of-``repeats`` wall time for one interpreter choice."""
+def _timed_interp_run(spec, fastpath, repeats: int):
+    """Best-of-``repeats`` wall time for one interpreter choice.
+
+    ``fastpath`` is any :func:`repro.core.config.fastpath_level`
+    setting: a bool (False = reference, True = fastest) or an explicit
+    level 0/1/2.
+    """
     from repro.harness import runner
     from repro.harness.record import RunRecord
 
@@ -76,6 +81,51 @@ register(BenchCase(
              "fast-path record bit-identical to the reference record"),
         Gate("speedup", ">=", "min_speedup",
              "translated/reference speedup floor"),
+    ),
+    primary_metric="speedup",
+    primary_direction="higher",
+    compare_threshold=0.15,
+))
+
+
+def run_interp_superblock(params: Dict[str, object]) -> Dict[str, object]:
+    """Superblock fast path (level 2) vs per-instruction fast path (1)."""
+    from repro.harness import runner
+    from repro.harness.runner import RunSpec
+
+    runner.set_disk_cache(None)
+    runner.clear_cache()
+    repeats = int(params["repeats"])
+    spec = RunSpec(benchmark=str(params["benchmark"]), monitoring=True)
+    per_doc, per_s = _timed_interp_run(spec, 1, repeats)
+    sb_doc, sb_s = _timed_interp_run(spec, 2, repeats)
+    speedup = per_s / sb_s if sb_s else float("inf")
+    mips = (sb_doc["instructions"] / sb_s / 1e6) if sb_s else None
+    return {
+        "benchmark": params["benchmark"],
+        "instructions": per_doc["instructions"],
+        "repeats": repeats,
+        "per_instruction_seconds": round(per_s, 3),
+        "superblock_seconds": round(sb_s, 3),
+        "speedup": round(speedup, 3),
+        "superblock_mips": round(mips, 3) if mips else None,
+        "min_speedup": params["min_speedup"],
+        "identical": sb_doc == per_doc,
+    }
+
+
+register(BenchCase(
+    name="interp_superblock",
+    description="superblock fast path vs per-instruction fast path "
+                "(bit-identity + speedup floor)",
+    run=run_interp_superblock,
+    params={"benchmark": "compress", "repeats": 2, "min_speedup": 1.5},
+    gates=(
+        Gate("identical", "==", True,
+             "superblock record bit-identical to the per-instruction "
+             "record"),
+        Gate("speedup", ">=", "min_speedup",
+             "superblock/per-instruction speedup floor"),
     ),
     primary_metric="speedup",
     primary_direction="higher",

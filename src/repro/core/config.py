@@ -30,20 +30,48 @@ INTERVAL_SCALE = 100
 PAPER_INTERVALS = {"25K": 25_000, "50K": 50_000, "100K": 100_000}
 
 
-def fastpath_enabled(setting: "bool | None" = None) -> bool:
-    """Resolve the translated-interpreter knob.
+def fastpath_level(setting: "bool | int | None" = None) -> int:
+    """Resolve the translated-interpreter knob to an execution level.
 
-    An explicit ``setting`` (``SystemConfig.fastpath``) wins; otherwise
-    the ``REPRO_FASTPATH`` environment variable decides, defaulting to
-    on.  The knob selects *how* guest code is executed, never *what* it
-    computes: both interpreters are bit-identical (cycles, instructions,
-    every event counter), which is why the knob is deliberately absent
-    from :class:`~repro.harness.runner.RunSpec` and therefore from the
+    * ``0`` — the reference if/elif interpreter (the oracle),
+    * ``1`` — per-instruction closure-threaded dispatch (the PR-3 path),
+    * ``2`` — superblock dispatch: straight-line runs fused into single
+      closures with batched memory simulation (the default).
+
+    An explicit ``setting`` (``SystemConfig.fastpath``; ``True`` means
+    "fastest", ``False`` means "reference", an int names a level) wins;
+    otherwise the ``REPRO_FASTPATH`` environment variable decides
+    (``0``/``1``/anything else → level 2).  The knob selects *how*
+    guest code is executed, never *what* it computes: all three levels
+    are bit-identical (cycles, instructions, every event counter, PEBS
+    samples), which is why the knob is deliberately absent from
+    :class:`~repro.harness.runner.RunSpec` and therefore from the
     disk-cache key.
     """
+    # ``is True`` / ``is False`` before the int clamp: True == 1 in
+    # Python, but a bool True means "the fastest level", not level 1.
+    if setting is True:
+        return 2
+    if setting is False:
+        return 0
     if setting is not None:
-        return bool(setting)
-    return os.environ.get("REPRO_FASTPATH", "1") != "0"
+        return min(2, max(0, int(setting)))
+    raw = os.environ.get("REPRO_FASTPATH", "2")
+    if raw == "0":
+        return 0
+    if raw == "1":
+        return 1
+    return 2
+
+
+def fastpath_enabled(setting: "bool | int | None" = None) -> bool:
+    """Whether any translated level is selected (level > 0).
+
+    Kept as the boolean surface provenance manifests and older call
+    sites use: levels 1 and 2 are bit-identical, so a bool is the only
+    distinction a run record can ever observe.
+    """
+    return fastpath_level(setting) > 0
 
 
 def scaled_interval(name: str) -> int:
@@ -286,11 +314,13 @@ class SystemConfig:
     method_profiling: bool = False
     #: GC plan: "genms" (paper) or "gencopy" (Figure 6 comparator).
     gc_plan: str = "genms"
-    #: Guest-code execution strategy: ``True`` forces the translated
-    #: (closure-threaded) interpreter, ``False`` the reference if/elif
-    #: interpreter, ``None`` (default) defers to ``REPRO_FASTPATH``.
-    #: Both produce bit-identical results; see :func:`fastpath_enabled`.
-    fastpath: "bool | None" = None
+    #: Guest-code execution strategy: ``True`` forces the fastest
+    #: translated level (superblocks), ``False`` the reference if/elif
+    #: interpreter, an int names a level (0 reference, 1 per-instruction
+    #: closures, 2 superblocks), ``None`` (default) defers to
+    #: ``REPRO_FASTPATH``.  Every level produces bit-identical results;
+    #: see :func:`fastpath_level`.
+    fastpath: "bool | int | None" = None
     #: Seed for all randomized components.
     seed: int = 42
     #: Optional :class:`repro.telemetry.Telemetry` instance.  ``None``

@@ -19,24 +19,28 @@ frame switches.  Reentrant charges (PEBS microcode costs arriving
 through ``charge`` *during* a memory access) remain correct because
 cycle accounting is purely additive.
 
-Two interpreters execute the same compiled code:
+Three interpreters execute the same compiled code:
 
 * the **reference** interpreter (:meth:`CPU._run_reference`) — the
   ``if/elif`` dispatch chain below, kept as the differential oracle,
 * the **translated** fastpath (:meth:`CPU._run_translated`) — threaded
   dispatch through per-instruction closures built once per method by
-  :mod:`repro.hw.translate`.
+  :mod:`repro.hw.translate` (level 1),
+* the **superblock** fastpath (:meth:`CPU._run_superblock`) — the same
+  driver plus whole-run dispatch through fused straight-line closures
+  with batched memory simulation (level 2, the default).
 
 They are bit-identical in every observable (cycles, instructions,
-memory-access order, scheduler polls, faults); ``REPRO_FASTPATH=0`` or
-``SystemConfig.fastpath=False`` selects the reference loop.
+memory-access order, scheduler polls, faults); ``REPRO_FASTPATH``
+(``0``/``1``/``2``) or ``SystemConfig.fastpath`` selects the level —
+see :func:`repro.core.config.fastpath_level`.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.config import MachineConfig, fastpath_enabled
+from repro.core.config import MachineConfig, fastpath_level
 from repro.gc import layout
 from repro.hw.isa import (
     GuestError,
@@ -89,7 +93,7 @@ class CPU:
     """
 
     def __init__(self, config: MachineConfig, mem: MemorySystem, runtime,
-                 scheduler=None, fastpath: Optional[bool] = None):
+                 scheduler=None, fastpath: "bool | int | None" = None):
         self.config = config
         self.mem = mem
         self.runtime = runtime
@@ -99,13 +103,21 @@ class CPU:
         self.instructions = 0
         self.exit_value = None
         self.calls = 0
-        #: Execute through translated closures (the default) or the
-        #: reference if/elif interpreter (``REPRO_FASTPATH=0``).
-        self.fastpath = fastpath_enabled(fastpath)
+        #: Execution level: 0 reference if/elif, 1 per-instruction
+        #: closures, 2 superblocks (the default); see
+        #: :func:`repro.core.config.fastpath_level`.
+        self.fastpath_level = fastpath_level(fastpath)
+        #: Boolean surface kept for older call sites: any translated level.
+        self.fastpath = self.fastpath_level > 0
         #: Shared latency accumulator the translated handlers add memory
         #: and allocation cycles into; the fastpath driver folds it into
         #: ``self.cycles`` at the same flush points as the reference loop.
         self._cyc_cell = [0]
+        #: Deferred-access segments appended by superblock closures
+        #: (level 2), drained through ``mem.access_run_segments`` at
+        #: quantum boundaries, before per-instruction fallback, and at
+        #: write barriers / guest faults inside a block.
+        self._pending: list = []
         # Sentinel mailboxes: call/return handlers stash their operands
         # here for the fastpath driver (see repro.hw.translate).
         self._call_target = None
@@ -121,6 +133,20 @@ class CPU:
     def charge(self, cycles: int) -> None:
         """Add non-application work (GC, monitoring) to the clock."""
         self.cycles += cycles
+
+    def drain_accesses(self) -> int:
+        """Simulate and clear the pending deferred-access segments.
+
+        Returns the summed latency (the caller adds it to the cycle
+        accumulator).  Bound into superblock closures for their write
+        barrier and fault paths; the driver inlines the equivalent.
+        """
+        pending = self._pending
+        if not pending:
+            return 0
+        latency = self.mem.access_run_segments(pending)
+        del pending[:]
+        return latency
 
     def call_main(self, method) -> object:
         """Execute a no-argument method to completion; returns its value."""
@@ -164,10 +190,161 @@ class CPU:
 
     def run(self, until_cycles: Optional[int] = None) -> None:
         """Run until the call stack empties (or a cycle deadline passes)."""
-        if self.fastpath:
+        if self.fastpath_level >= 2:
+            self._run_superblock(until_cycles)
+        elif self.fastpath_level == 1:
             self._run_translated(until_cycles)
         else:
             self._run_reference(until_cycles)
+
+    def _run_superblock(self, until_cycles: Optional[int] = None) -> None:
+        """Superblock dispatch: fused straight-line runs, batched memory.
+
+        The driver is :meth:`_run_translated` plus one extra dispatch
+        tier: when a superblock starts at ``pc`` *and* its whole run
+        fits the remaining scheduler-quantum budget, the fused closure
+        executes the entire run (its memory accesses join the pending
+        segment list) and the budget drops by the run length — so
+        flushes, scheduler polls, and the ``until_cycles`` check still
+        land on exactly every 128th instruction, as the reference does.
+        The pending accesses of consecutively chained blocks are
+        simulated in one ``access_run_segments`` call at the quantum
+        boundary, or earlier if a per-instruction fallback, write
+        barrier, or guest fault needs the memory state.  A run that
+        would overshoot the quantum (and a branch landing mid-block)
+        falls back to per-instruction dispatch until the next block
+        start, which is the split that keeps sliced ``until_cycles``
+        replay bit-identical.
+        """
+        icost = self.config.instruction_cost
+        runtime = self.runtime
+        scheduler = self.scheduler
+        frames = self.frames
+        cell = self._cyc_cell
+        cell[0] = 0
+        pending = self._pending
+        del pending[:]
+        drain_segments = self.mem.access_run_segments
+        budget = SCHED_QUANTUM
+
+        while frames:
+            frame = frames[-1]
+            cm = frame.cm
+            translation = translation_for(cm, self)
+            handlers = translation.handlers
+            phase2 = translation.phase2
+            blocks = translation.blocks
+            regs = frame.regs
+            slots = frame.slots
+            pc = frame.pc
+            switch = False
+            n = 0     # local instruction delta
+
+            while not switch:
+                blk = blocks[pc]
+                if blk is not None and blk[0] <= budget:
+                    k, fn = blk
+                    n += k
+                    budget -= k
+                    pc = fn(frame, regs, slots)
+                    if budget <= 0:
+                        budget = SCHED_QUANTUM
+                        if pending:
+                            cell[0] += drain_segments(pending)
+                            del pending[:]
+                        self.cycles += cell[0] + n * icost
+                        self.instructions += n
+                        cell[0] = 0
+                        n = 0
+                        if scheduler is not None:
+                            next_time = scheduler.next_time
+                            if next_time is not None \
+                                    and next_time <= self.cycles:
+                                frame.pc = pc
+                                scheduler.run_due(self.cycles)
+                        if until_cycles is not None \
+                                and self.cycles >= until_cycles:
+                            frame.pc = pc
+                            self.sync_counters()
+                            return
+                    continue
+                n += 1
+                # Per-instruction handlers issue their own ``mem.access``
+                # calls, charge the cell directly, and may reach a GC
+                # point: the deferred accesses must land first.
+                if pending:
+                    cell[0] += drain_segments(pending)
+                    del pending[:]
+                next_pc = handlers[pc](frame, regs, slots)
+                if next_pc >= 0:
+                    pc = next_pc
+                elif next_pc == CALL_SENT:
+                    self.cycles += cell[0] + n * icost + CALL_OVERHEAD
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    target = self._call_target
+                    args = self._call_args
+                    self._call_target = None
+                    self._call_args = None
+                    callee = runtime.compiled_code_for(target)
+                    if self.profiler is not None:
+                        self.profiler.on_call(target, self.cycles)
+                    self.calls += 1
+                    self._push_frame(callee, args)
+                    switch = True
+                elif next_pc == RET_SENT:
+                    value = self._ret_value
+                    self._ret_value = None
+                    self.cycles += cell[0] + n * icost
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    if self.profiler is not None:
+                        self.profiler.on_return(self.cycles)
+                    frames.pop()
+                    if frames:
+                        caller = frames[-1]
+                        call_inst = caller.cm.code[caller.pc]
+                        if call_inst.rd is not None:
+                            caller.regs[call_inst.rd] = value
+                        caller.pc += 1
+                    else:
+                        self.exit_value = value
+                    switch = True
+                else:
+                    # Allocation (GC point): flush, then run phase 2 so
+                    # a collection sees a consistent clock and roots.
+                    pc = ~next_pc
+                    self.cycles += cell[0] + n * icost
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    alloc_cost = phase2[pc](regs)
+                    cell[0] += alloc_cost
+                    pc += 1
+
+                budget -= 1
+                if budget <= 0:
+                    budget = SCHED_QUANTUM
+                    self.cycles += cell[0] + n * icost
+                    self.instructions += n
+                    cell[0] = 0
+                    n = 0
+                    if scheduler is not None:
+                        next_time = scheduler.next_time
+                        if next_time is not None and next_time <= self.cycles:
+                            frame.pc = pc
+                            scheduler.run_due(self.cycles)
+                    if until_cycles is not None and self.cycles >= until_cycles:
+                        frame.pc = pc
+                        self.sync_counters()
+                        return
+            if cell[0] or n:
+                self.cycles += cell[0] + n * icost
+                self.instructions += n
+                cell[0] = 0
+        self.sync_counters()
 
     def _run_translated(self, until_cycles: Optional[int] = None) -> None:
         """Threaded dispatch through per-method closure tables.

@@ -169,6 +169,147 @@ class MemorySystem:
             self.n_prefetch += prefetched
         return latency
 
+    # -- the batched hot path -------------------------------------------------
+
+    def access_run(self, addrs, writes, eips, start: int = 0) -> int:
+        """Perform one superblock's deferred accesses in one call.
+
+        ``addrs`` is the block's address batch in program order;
+        ``writes[start + j]`` / ``eips[start + j]`` carry the
+        translate-time constant is-write flag and EIP of the ``j``-th
+        batched access (the block may flush in segments — write
+        barriers, faults — so ``start`` re-anchors the batch into the
+        block's full metadata tuples).  Returns the summed latency.
+        """
+        return self.access_run_segments(((addrs, writes, eips, start),))
+
+    def access_run_segments(self, segments) -> int:
+        """Perform a run of deferred-access segments in one call.
+
+        Each segment is an ``(addrs, writes, eips, start)`` quadruple as
+        in :meth:`access_run`; consecutive superblocks executed since
+        the last drain contribute one segment each, so the whole
+        scheduler quantum's accesses are usually simulated here in a
+        single call.  Returns the summed latency.
+
+        Per-access semantics are exactly :meth:`access` — same probe
+        order, same counter totals at every flush point, same
+        PEBS/observer hook firing points with the same EIPs — so
+        counters, cache/TLB state, and samples are bit-identical to
+        issuing the accesses one at a time.  The batch additionally
+        exploits what a single ``access`` call cannot: geometry, hook
+        state, and the TLB's LRU dict are hoisted into locals once per
+        drain, the raw event tallies accumulate in locals and fold at
+        the end, and the EIP is only ever *read* on miss paths.  All of
+        that is invisible mid-batch because nothing a PEBS/observer
+        hook can reach reads the tallies or re-arms the hooks, and
+        cache pollution only happens at GC points, which drain the
+        pending segments first.
+        """
+        page_shift = self._page_shift
+        l1_shift = self._l1_shift
+        l1_sets = self._l1_sets
+        l1_mask = self._l1_mask
+        l1_ways = self._l1_ways
+        l2_shift = self._l2_shift
+        l1_hit = self._l1_hit_latency
+        l2_hit = self._l2_hit_latency
+        memory_latency = self._memory_latency
+        tlb_penalty = self._tlb_penalty
+        l2_access_line = self._l2_access_line
+        observe_miss = self._observe_miss
+        armed = self._armed_event
+        observed = self._observed_event
+        pebs_hook = self._pebs_hook
+        observer_hook = self._observer_hook
+        last_page = self._last_page
+        # The TLB hit path is inlined against its LRU dict (the miss
+        # path replicates TLB.access_page's insert + evict); its own
+        # hit/miss statistics accumulate locally like the event tallies.
+        tlb = self.tlb
+        tlb_pages = tlb._pages
+        tlb_move = tlb_pages.move_to_end
+        tlb_capacity = tlb.entries
+        loads = stores = l1_miss = l2_access = l2_miss = 0
+        tlb_hits = tlb_misses = 0
+        total = 0
+        for addrs, writes, eips, start in segments:
+            index = start
+            for addr in addrs:
+                if writes[index]:
+                    stores += 1
+                else:
+                    loads += 1
+                index += 1
+
+                page = addr >> page_shift
+                if page != last_page:
+                    if page in tlb_pages:
+                        tlb_move(page)
+                        tlb_hits += 1
+                    else:
+                        tlb_misses += 1
+                        tlb_pages[page] = None
+                        if len(tlb_pages) > tlb_capacity:
+                            tlb_pages.popitem(last=False)
+                        total += tlb_penalty
+                        if armed == "DTLB_MISS":
+                            pebs_hook(eips[index - 1])
+                        if observed == "DTLB_MISS":
+                            observer_hook(eips[index - 1])
+                    last_page = page
+
+                line = addr >> l1_shift
+                ways = l1_sets[line & l1_mask]
+                if ways:
+                    if ways[0] == line:
+                        total += l1_hit
+                        continue
+                    try:
+                        idx = ways.index(line, 1)
+                    except ValueError:
+                        pass
+                    else:
+                        del ways[idx]
+                        ways.insert(0, line)
+                        total += l1_hit
+                        continue
+                l1_miss += 1
+                ways.insert(0, line)
+                if len(ways) > l1_ways:
+                    ways.pop()
+                if armed == "L1D_MISS":
+                    pebs_hook(eips[index - 1])
+                if observed == "L1D_MISS":
+                    observer_hook(eips[index - 1])
+                total += l1_hit
+
+                l2_access += 1
+                l2_line = addr >> l2_shift
+                if l2_access_line(l2_line):
+                    total += l2_hit
+                    continue
+                l2_miss += 1
+                if armed == "L2_MISS":
+                    pebs_hook(eips[index - 1])
+                if observed == "L2_MISS":
+                    observer_hook(eips[index - 1])
+                total += l2_hit + memory_latency
+
+                prefetched = observe_miss(l2_line)
+                if prefetched:
+                    self.n_prefetch += prefetched
+        self._last_page = last_page
+        self.n_loads += loads
+        self.n_stores += stores
+        self.n_l1_miss += l1_miss
+        self.n_l2_access += l2_access
+        self.n_l2_miss += l2_miss
+        self.n_dtlb_miss += tlb_misses
+        tlb.hits += tlb_hits
+        tlb.misses += tlb_misses
+        return total
+
     # -- counter folding --------------------------------------------------------
 
     def sync_counters(self) -> EventCounters:

@@ -72,15 +72,24 @@ Handler = Callable[..., int]
 
 
 class Translation:
-    """The compiled form of one method for one CPU."""
+    """The compiled form of one method for one CPU.
 
-    __slots__ = ("cpu", "handlers", "phase2")
+    ``blocks`` (built only at fastpath level 2) is a per-pc table:
+    ``blocks[pc]`` is ``(length, closure)`` when a superblock starts at
+    ``pc`` and ``None`` everywhere else, so the driver can test
+    eligibility with one list index.  Mid-block pcs are always ``None``
+    — a quantum split or branch landing inside a fused run simply
+    executes per-instruction until the next block start.
+    """
+
+    __slots__ = ("cpu", "handlers", "phase2", "blocks")
 
     def __init__(self, cpu, handlers: List[Handler],
-                 phase2: Dict[int, Callable]):
+                 phase2: Dict[int, Callable], blocks=None):
         self.cpu = cpu
         self.handlers = handlers
         self.phase2 = phase2
+        self.blocks = blocks
 
 
 def translation_for(cm, cpu) -> Translation:
@@ -744,4 +753,493 @@ def translate(cm, cpu) -> Translation:
         else:
             h = _h_bad(f"illegal opcode {op}", method, pc)
         handlers.append(h)
-    return Translation(cpu, handlers, phase2)
+    blocks = None
+    if getattr(cpu, "fastpath_level", 0) >= 2:
+        blocks = compile_superblocks(cm, cpu)
+    return Translation(cpu, handlers, phase2, blocks)
+
+
+# ---------------------------------------------------------------------------
+# Superblock compilation (fastpath level 2).
+#
+# Straight-line runs of fusible instructions are compiled — via a small
+# source-level template JIT (``compile()`` + ``exec`` once per method) —
+# into single closures that execute the whole run, deferring memory
+# accesses into a local batch.  The batch joins the CPU's pending
+# segment list at block exit; the driver drains the list in one
+# :meth:`~repro.hw.memsys.MemorySystem.access_run_segments` call at
+# quantum boundaries and before any per-instruction fallback, so the
+# accesses of many chained blocks are simulated together.  The driver
+# charges a run's base cycles as ``length * instruction_cost`` in one
+# step and polls the scheduler only when the quantum budget empties, so
+# a fused run eliminates the per-instruction dispatch, the per-access
+# call overhead, and most of the per-batch simulation setup.
+#
+# Bit-identity is preserved because deferral only ever reorders *pure*
+# bookkeeping: between drain points the sequence of (memory access,
+# charge) events observed by the clock, the counters, the PEBS unit,
+# and any observer hook is exactly the reference interpreter's
+# sequence, and everything that could *read* that state — scheduler
+# polls, GC safepoints, profiler callbacks, ``until_cycles`` checks,
+# per-instruction handlers issuing their own ``mem.access`` calls —
+# sits behind a drain.  The two in-block places where a charge could
+# interleave with accesses force a drain first:
+#
+# * **write barriers** charge GC cycles immediately, so all pending
+#   accesses are drained before every ``wb(...)`` call (unconditionally
+#   for a ref putfield, behind the runtime ``kind == 'ref'`` check for
+#   an array store);
+# * **guest faults** must observe the accesses of the instructions that
+#   preceded them, so every fault in a memory-touching block routes
+#   through a ``fault`` helper that drains before raising.
+#
+# Block boundaries (branches and their targets, calls, returns,
+# allocations, unknown ALU ops) stay per-instruction, which keeps GC
+# safepoints, profiler callbacks, and ``frame.pc`` anchoring untouched.
+# ---------------------------------------------------------------------------
+
+#: Fused runs are capped so a run usually fits the remaining scheduler
+#: quantum (SCHED_QUANTUM = 128); longer runs split into chained blocks.
+MAX_SUPERBLOCK = 64
+#: Fusing a single instruction would only add overhead.
+MIN_SUPERBLOCK = 2
+
+#: Opcodes a superblock may contain (ALU/ALUI additionally need a known
+#: ``aux``; everything else — control flow, calls, allocations — is a
+#: block breaker handled per-instruction).
+_FUSIBLE_SIMPLE = frozenset({
+    M_MOVI, M_MOV, M_NOP, M_NULLCHK, M_LEN, M_LDF, M_STF, M_GETF,
+    M_PUTF, M_ALOAD, M_ASTORE, M_GETSTATIC, M_PUTSTATIC,
+})
+
+#: Opcodes that issue a data access (one each) inside a block.
+_MEM_OPS = frozenset({
+    M_GETF, M_PUTF, M_ALOAD, M_ASTORE, M_LEN, M_LDF, M_STF,
+    M_GETSTATIC, M_PUTSTATIC,
+})
+
+_ALU_EXPRS = {
+    "add": "{a} + {b}", "sub": "{a} - {b}", "mul": "{a} * {b}",
+    "and": "{a} & {b}", "xor": "{a} ^ {b}", "or": "{a} | {b}",
+}
+
+#: The bounds-fault message, verbatim from the reference interpreter
+#: (``i``/``e`` are the generated index/elements locals).
+_BOUNDS_MSG = 'f"index {i} out of bounds [0,{len(e)})"'
+
+
+def _is_literal(value) -> bool:
+    """May ``value`` be inlined into generated source via ``repr``?"""
+    return value is None or (isinstance(value, int)
+                             and not isinstance(value, bool))
+
+
+def fusible(inst) -> bool:
+    """Whether one instruction may live inside a superblock."""
+    op = inst.op
+    if op in _FUSIBLE_SIMPLE:
+        if op == M_MOVI:
+            return _is_literal(inst.imm)
+        if op == M_ALOAD or op == M_ASTORE or op == M_LEN:
+            return True
+        return True
+    if op == M_ALU:
+        return inst.aux in _ALU_FACTORIES or inst.aux in ("div", "rem")
+    if op == M_ALUI:
+        return _is_literal(inst.imm) and inst.imm is not None and (
+            inst.aux in _ALUI_FACTORIES or inst.aux in ("div", "rem"))
+    return False
+
+
+def superblock_ranges(code) -> List[tuple]:
+    """Partition ``code`` into fusible ``(start, stop)`` runs.
+
+    Leaders — pcs where control can enter other than by falling through
+    a fused instruction — are branch targets and the successors of every
+    control transfer and allocation; a run never spans one, so a branch
+    into the middle of a straight-line region starts a fresh block
+    there.  A run may additionally *end* with the branch that terminates
+    it (the classic superblock shape): the branch executes inside the
+    closure and the closure returns the taken pc, saving one driver
+    dispatch per block without moving any flush point.
+    """
+    leaders = set()
+    for pc, inst in enumerate(code):
+        op = inst.op
+        if op == M_BC or op == M_BR:
+            leaders.add(inst.imm)
+            leaders.add(pc + 1)
+        elif op in (M_CALL, M_CALLV, M_RET, M_NEW, M_NEWARR):
+            leaders.add(pc + 1)
+    ranges = []
+    n = len(code)
+    pc = 0
+    while pc < n:
+        if not fusible(code[pc]):
+            pc += 1
+            continue
+        end = pc + 1
+        while (end < n and end not in leaders and end - pc < MAX_SUPERBLOCK
+               and fusible(code[end])):
+            end += 1
+        stop = end
+        if (end < n and end not in leaders
+                and code[end].op in (M_BC, M_BR)):
+            stop = end + 1
+        if stop - pc >= MIN_SUPERBLOCK:
+            ranges.append((pc, stop))
+        pc = stop
+    return ranges
+
+
+#: Comparison operators of the two-operand / vs-zero BC conditions.
+_BC_OPERATORS = {"eq": "==", "ne": "!=", "lt": "<", "ge": ">=",
+                 "gt": ">", "le": "<="}
+
+
+def _bc_condition(inst) -> str:
+    """The Python expression of a BC terminator's taken-test."""
+    a = f"regs[{inst.rs1}]"
+    aux = inst.aux
+    if aux == "null":
+        return f"{a} is None"
+    op = _BC_OPERATORS.get(aux)
+    if op is not None:
+        if inst.rs2 is not None:
+            return f"{a} {op} regs[{inst.rs2}]"
+        return f"{a} {op} 0"
+    # The reference interpreter treats any unknown condition as
+    # "nonnull" (its final else); mirror that.
+    return f"{a} is not None"
+
+
+def _emit_block(out, consts, const_ids, code, start, end, base_eip):
+    """Append the source of the fused closure for ``code[start:end]``."""
+
+    def const(obj) -> str:
+        key = id(obj)
+        name = const_ids.get(key)
+        if name is None:
+            name = f"K{len(consts)}"
+            const_ids[key] = name
+            consts.append(obj)
+        return name
+
+    insts = [code[pc] for pc in range(start, end)]
+    term = insts.pop() if insts[-1].op in (M_BC, M_BR) else None
+    has_mem = any(inst.op in _MEM_OPS for inst in insts)
+    has_frame = any(inst.op == M_LDF or inst.op == M_STF for inst in insts)
+    writes: List[bool] = []
+    eips: List[int] = []
+    if has_mem:
+        # Reserve the const slots for the block's access-metadata
+        # tuples now (they are referenced by flush/fault lines) and
+        # patch them in once every access has been emitted.
+        wslot = len(consts)
+        wname = f"K{wslot}"
+        consts.append(None)
+        eslot = len(consts)
+        ename = f"K{eslot}"
+        consts.append(None)
+
+    def meta(is_write: bool, eip: int) -> None:
+        writes.append(is_write)
+        eips.append(eip)
+
+    W = out.append
+    W(f"    def _sb_{start}(frame, regs, slots):")
+    if has_mem:
+        W("        b = []")
+        W("        ap = b.append")
+        W("        s = 0")
+    if has_frame:
+        W("        fb = frame.base")
+
+    has_wb = False
+
+    def emit_fault(indent, msg_expr, pc):
+        if has_mem:
+            W(f"{indent}fault(b, {wname}, {ename}, s, {msg_expr}, {pc})")
+        else:
+            W(f"{indent}raise GuestError({msg_expr}, method, {pc})")
+
+    def emit_wb_flush(indent, args):
+        # Write barriers charge cycles immediately; every pending
+        # access — earlier blocks' segments and this block's batch so
+        # far — must be simulated first so charge order matches the
+        # reference.  (``b`` is never empty here: the barrier's own
+        # store was appended just above.)
+        nonlocal has_wb
+        has_wb = True
+        W(f"{indent}pend((b, {wname}, {ename}, s))")
+        W(f"{indent}cell[0] += drain()")
+        W(f"{indent}s = {len(writes)}")
+        W(f"{indent}b = []")
+        W(f"{indent}ap = b.append")
+        W(f"{indent}wb({args})")
+
+    # Redundancy elimination: track which register each scratch local
+    # (``a``/``i``/``o``) currently mirrors, which registers are proven
+    # non-null by an earlier check in this block, and whether the
+    # current (array, index) pair has already passed its bounds check —
+    # so repeated accesses through the same registers skip the reloads
+    # and the provably-passing checks.  Eliding a check never changes
+    # behavior: it is only elided when the same unmodified register
+    # already passed one (which fault message would have fired is then
+    # moot), and an array store cannot change ``len(elements)``.  Any
+    # write to a register drops every fact about it; div/rem clobbers
+    # the ``a`` scratch local.
+    a_reg = i_reg = o_reg = None
+    e_valid = bounds_ok = False
+    nonnull = set()
+
+    def invalidate(rd):
+        nonlocal a_reg, i_reg, o_reg, e_valid, bounds_ok
+        nonnull.discard(rd)
+        if rd == a_reg:
+            a_reg = None
+            e_valid = bounds_ok = False
+        if rd == i_reg:
+            i_reg = None
+            bounds_ok = False
+        if rd == o_reg:
+            o_reg = None
+
+    def bind_array(rs1, msg_expr, pc):
+        nonlocal a_reg, e_valid, bounds_ok
+        if a_reg != rs1:
+            W(f"        a = regs[{rs1}]")
+            a_reg = rs1
+            e_valid = bounds_ok = False
+        if rs1 not in nonnull:
+            W("        if a is None:")
+            emit_fault("            ", msg_expr, pc)
+            nonnull.add(rs1)
+
+    def bind_index_and_bounds(rs2, pc):
+        nonlocal i_reg, e_valid, bounds_ok
+        if i_reg != rs2:
+            W(f"        i = regs[{rs2}]")
+            i_reg = rs2
+            bounds_ok = False
+        if not e_valid:
+            W("        e = a.elements")
+            e_valid = True
+        if not bounds_ok:
+            W("        if i < 0 or i >= len(e):")
+            emit_fault("            ", _BOUNDS_MSG, pc)
+            bounds_ok = True
+
+    def bind_object(rs1, msg_expr, pc):
+        nonlocal o_reg
+        if o_reg != rs1:
+            W(f"        o = regs[{rs1}]")
+            o_reg = rs1
+        if rs1 not in nonnull:
+            W("        if o is None:")
+            emit_fault("            ", msg_expr, pc)
+            nonnull.add(rs1)
+
+    for offset, inst in enumerate(insts):
+        pc = start + offset
+        eip = base_eip + pc * INSTRUCTION_BYTES
+        op = inst.op
+        if op == M_MOVI:
+            W(f"        regs[{inst.rd}] = {inst.imm!r}")
+            invalidate(inst.rd)
+            if inst.imm is not None:
+                nonnull.add(inst.rd)
+        elif op == M_MOV:
+            W(f"        regs[{inst.rd}] = regs[{inst.rs1}]")
+            known = inst.rs1 in nonnull
+            invalidate(inst.rd)
+            if known and inst.rd != inst.rs1:
+                nonnull.add(inst.rd)
+        elif op == M_NOP:
+            pass
+        elif op == M_NULLCHK:
+            if inst.rs1 not in nonnull:
+                W(f"        if regs[{inst.rs1}] is None:")
+                emit_fault("            ", "'null receiver'", pc)
+                nonnull.add(inst.rs1)
+        elif op == M_ALU or op == M_ALUI:
+            if op == M_ALU:
+                a, b = f"regs[{inst.rs1}]", f"regs[{inst.rs2}]"
+                shift = f"(regs[{inst.rs2}] & 31)"
+            else:
+                a, b = f"regs[{inst.rs1}]", repr(inst.imm)
+                shift = repr(inst.imm & 31)
+            aux = inst.aux
+            if aux in _ALU_EXPRS and (op == M_ALU or aux != "neg"):
+                W(f"        regs[{inst.rd}] = "
+                  + _ALU_EXPRS[aux].format(a=a, b=b))
+            elif aux == "neg":
+                W(f"        regs[{inst.rd}] = -{a}")
+            elif aux == "shl":
+                W(f"        regs[{inst.rd}] = "
+                  f"(({a} << {shift}) & 0xFFFFFFFF)")
+            elif aux == "shr":
+                W(f"        regs[{inst.rd}] = {a} >> {shift}")
+            else:  # div / rem — replicate the reference's rounding
+                W(f"        a = {a}")
+                W(f"        v = {b}")
+                W("        if v == 0:")
+                emit_fault("            ", "'division by zero'", pc)
+                W("        q = abs(a) // abs(v)")
+                W("        if (a >= 0) != (v >= 0):")
+                W("            q = -q")
+                if aux == "div":
+                    W(f"        regs[{inst.rd}] = q")
+                else:
+                    W(f"        regs[{inst.rd}] = a - q * v")
+                a_reg = None    # ``a`` scratch local clobbered
+                e_valid = bounds_ok = False
+            invalidate(inst.rd)
+            nonnull.add(inst.rd)    # arithmetic yields an int
+        elif op == M_LDF:
+            meta(False, eip)
+            W(f"        ap(fb + {inst.imm * 4})")
+            W(f"        regs[{inst.rd}] = slots[{inst.imm}]")
+            invalidate(inst.rd)
+        elif op == M_STF:
+            meta(True, eip)
+            W(f"        ap(fb + {inst.imm * 4})")
+            W(f"        slots[{inst.imm}] = regs[{inst.rs1}]")
+        elif op == M_GETF:
+            fld = inst.aux
+            bind_object(inst.rs1, "'null getfield'", pc)
+            meta(False, eip)
+            W(f"        ap(o.address + {fld.offset})")
+            W(f"        regs[{inst.rd}] = o.slots[{fld.index}]")
+            invalidate(inst.rd)
+        elif op == M_PUTF:
+            fld = inst.aux
+            bind_object(inst.rs1, "'null putfield'", pc)
+            meta(True, eip)
+            if fld.kind == "ref":
+                W(f"        v = regs[{inst.rs2}]")
+                W(f"        ap(o.address + {fld.offset})")
+                W(f"        o.slots[{fld.index}] = v")
+                emit_wb_flush("        ", f"o, {fld.index}, v")
+            else:
+                W(f"        ap(o.address + {fld.offset})")
+                W(f"        o.slots[{fld.index}] = regs[{inst.rs2}]")
+        elif op == M_ALOAD:
+            bind_array(inst.rs1, "'null array load'", pc)
+            bind_index_and_bounds(inst.rs2, pc)
+            meta(False, eip)
+            W("        ap(a.address + 12 + i * a.esize)")
+            W(f"        regs[{inst.rd}] = e[i]")
+            invalidate(inst.rd)
+        elif op == M_ASTORE:
+            bind_array(inst.rs1, "'null array store'", pc)
+            bind_index_and_bounds(inst.rs2, pc)
+            W(f"        v = regs[{inst.rd}]")
+            meta(True, eip)
+            W("        ap(a.address + 12 + i * a.esize)")
+            W("        e[i] = v")
+            # ``a.kind`` is a runtime property; only the ref case has a
+            # write barrier (and hence needs the early flush).
+            W("        if a.kind == 'ref':")
+            emit_wb_flush("            ", "a, i, v")
+        elif op == M_LEN:
+            bind_array(inst.rs1, "'null arraylength'", pc)
+            meta(False, eip)
+            W("        ap(a.address + 8)")
+            if e_valid:
+                W(f"        regs[{inst.rd}] = len(e)")
+            else:
+                W(f"        regs[{inst.rd}] = len(a.elements)")
+            invalidate(inst.rd)
+            nonnull.add(inst.rd)    # a length is an int
+        elif op == M_GETSTATIC or op == M_PUTSTATIC:
+            klass, fld = inst.aux
+            kk, kf = const(klass), const(fld)
+            ksv = const(klass.static_values)
+            # ``static_addr`` stays a runtime call at access-append time:
+            # its lazy base assignment depends on first-touch order.
+            if op == M_GETSTATIC:
+                meta(False, eip)
+                W(f"        ap(static_addr({kk}, {kf}))")
+                W(f"        regs[{inst.rd}] = {ksv}[{fld.index}]")
+                invalidate(inst.rd)
+            else:
+                meta(True, eip)
+                W(f"        ap(static_addr({kk}, {kf}))")
+                W(f"        {ksv}[{fld.index}] = regs[{inst.rs1}]")
+        else:  # pragma: no cover — superblock_ranges only admits the above
+            raise AssertionError(f"unfusible op {op} in superblock")
+
+    if has_mem:
+        consts[wslot] = tuple(writes)
+        consts[eslot] = tuple(eips)
+        # The batch is not simulated here: it joins the CPU's pending
+        # segment list, drained once per quantum (or at the next
+        # per-instruction fallback, write barrier, or fault) so the
+        # drain's setup cost amortizes over many chained blocks.
+        if has_wb:
+            # A write barrier may have emptied the batch mid-block.
+            W("        if b:")
+            W(f"            pend((b, {wname}, {ename}, s))")
+        else:
+            W(f"        pend((b, {wname}, {ename}, s))")
+    # A BC/BR terminator executes inside the closure: the return value
+    # IS the taken pc, so the driver skips a whole dispatch per block.
+    if term is None:
+        W(f"        return {end}")
+    elif term.op == M_BR:
+        W(f"        return {term.imm}")
+    else:
+        W(f"        return {term.imm} if {_bc_condition(term)} "
+          f"else {end}")
+
+
+def superblock_source(cm) -> tuple:
+    """The factory source for all of ``cm``'s superblocks.
+
+    Returns ``(source, consts, ranges)``; ``None`` when the method has
+    no fusible run.  The factory binds the CPU-specific services once
+    and returns the block closures in ``ranges`` order.
+    """
+    ranges = superblock_ranges(cm.code)
+    if not ranges:
+        return None
+    consts: List[object] = []
+    const_ids: Dict[int, str] = {}
+    body: List[str] = []
+    for start, end in ranges:
+        _emit_block(body, consts, const_ids, cm.code, start, end,
+                    cm.code_addr)
+    lines = ["def _factory(cell, pend, drain, wb, static_addr, "
+             "GuestError, method, consts):"]
+    if consts:
+        names = ", ".join(f"K{i}" for i in range(len(consts)))
+        lines.append(f"    ({names},) = consts")
+    lines.append("    def fault(b, writes, eips, s, message, pc):")
+    lines.append("        if b:")
+    lines.append("            pend((b, writes, eips, s))")
+    lines.append("        cell[0] += drain()")
+    lines.append("        raise GuestError(message, method, pc)")
+    lines.extend(body)
+    names = ", ".join(f"_sb_{start}" for start, _ in ranges)
+    lines.append(f"    return [{names}]")
+    return "\n".join(lines) + "\n", consts, ranges
+
+
+def compile_superblocks(cm, cpu) -> "List | None":
+    """Build the per-pc superblock table for ``cm`` bound to ``cpu``."""
+    built = superblock_source(cm)
+    blocks: List = [None] * len(cm.code)
+    if built is None:
+        return blocks
+    source, consts, ranges = built
+    filename = f"<superblock {cm.method.qualified_name}>"
+    namespace: Dict[str, object] = {}
+    exec(compile(source, filename, "exec"), namespace)
+    closures = namespace["_factory"](
+        cpu._cyc_cell, cpu._pending.append, cpu.drain_accesses,
+        cpu.runtime.plan.write_barrier, cpu.runtime.static_addr,
+        GuestError, cm.method, tuple(consts))
+    for (start, end), closure in zip(ranges, closures):
+        blocks[start] = (end - start, closure)
+    return blocks

@@ -146,21 +146,30 @@ class TestCompilerEquivalenceFuzz:
 
 
 class TestInterpreterEquivalenceFuzz:
-    """The closure-threaded fast path (repro.hw.translate) must be
+    """The translated fast paths (repro.hw.translate) must be
     observationally indistinguishable from the reference interpreter:
     same exit values, same cycle and instruction counts, same hardware
-    event counters — for every program, under every compiler level."""
+    event counters, same number of PEBS samples — for every program,
+    under every compiler level.  The differential runs three-way:
+    reference (level 0) vs per-instruction closures (level 1) vs
+    superblocks (level 2)."""
 
     @staticmethod
-    def _differential(actions, plan_methods=(), **overrides):
-        ref_out, ref = run_recipe_full(actions, plan_methods,
-                                       fastpath=False, **overrides)
-        fast_out, fast = run_recipe_full(actions, plan_methods,
-                                         fastpath=True, **overrides)
-        assert fast_out == ref_out
-        assert fast.cycles == ref.cycles
-        assert fast.instructions == ref.instructions
-        assert fast.counters == ref.counters
+    def _observables(out, result):
+        pebs = result.vm.pebs if result.vm is not None else None
+        return (out, result.cycles, result.instructions, result.counters,
+                pebs.samples_taken if pebs is not None else None)
+
+    @classmethod
+    def _differential(cls, actions, plan_methods=(), **overrides):
+        ref = cls._observables(*run_recipe_full(
+            actions, plan_methods, fastpath=0, **overrides))
+        per_inst = cls._observables(*run_recipe_full(
+            actions, plan_methods, fastpath=1, **overrides))
+        superblock = cls._observables(*run_recipe_full(
+            actions, plan_methods, fastpath=2, **overrides))
+        assert per_inst == ref
+        assert superblock == ref
 
     @given(ACTIONS)
     @settings(max_examples=40, deadline=None)

@@ -163,6 +163,75 @@ class TestCounterIdentities:
         self.assert_identities(counts)
 
 
+class TestAccessRun:
+    """The bulk path (``access_run`` / ``access_run_segments``) must be
+    a pure batching of ``access``: same latency total, same counters,
+    same armed-hook firings in the same order, for any traffic."""
+
+    @staticmethod
+    def random_traffic(n=2000, seed=9):
+        rng = random.Random(seed)
+        addrs, writes, eips = [], [], []
+        for i in range(n):
+            addrs.append(0x100000 + rng.randrange(0, 1 << 20, 4))
+            writes.append(rng.random() < 0.3)
+            eips.append(i)
+        return addrs, writes, eips
+
+    def test_batch_matches_singles(self):
+        addrs, writes, eips = self.random_traffic()
+        single, batch = make_memsys(), make_memsys()
+        fired_single, fired_batch = [], []
+        single.arm_event("L1D_MISS", fired_single.append)
+        batch.arm_event("L1D_MISS", fired_batch.append)
+
+        total_single = sum(single.access(a, w, eip=e)
+                           for a, w, e in zip(addrs, writes, eips))
+        total_batch = 0
+        for i in range(0, len(addrs), 7):  # uneven chunks
+            total_batch += batch.access_run(addrs[i:i + 7], writes[i:i + 7],
+                                            eips[i:i + 7])
+        assert total_batch == total_single
+        assert fired_batch == fired_single
+        assert batch.sync_counters().counts == single.sync_counters().counts
+
+    def test_segments_match_flat(self):
+        addrs, writes, eips = self.random_traffic(n=500, seed=4)
+        flat, seg = make_memsys(), make_memsys()
+        total_flat = flat.access_run(addrs, writes, eips)
+        # Same traffic as three segments sharing metadata lists, each
+        # consuming from its own ``start`` offset (the shape the
+        # superblock driver produces when draining pending segments).
+        segments = [(addrs[0:200], writes, eips, 0),
+                    (addrs[200:450], writes, eips, 200),
+                    (addrs[450:], writes, eips, 450)]
+        total_seg = seg.access_run_segments(segments)
+        assert total_seg == total_flat
+        assert seg.sync_counters().counts == flat.sync_counters().counts
+
+    @pytest.mark.parametrize("position", range(5))
+    def test_armed_sample_lands_on_each_batch_position(self, position):
+        """An armed event raised by the j-th access of a batch must
+        report that access's EIP — for every j, including first/last."""
+        k = 5
+        ms = make_memsys()
+        addrs = [0x100000 + i * 128 for i in range(k)]
+        for a in addrs:
+            ms.access(a, False, eip=0)      # warm: batch would all hit
+        addrs[position] = 0x100000 + (64 + position) * 128  # cold line
+        eips = [0x5000 + i for i in range(k)]
+        fired = []
+        ms.arm_event("L1D_MISS", fired.append)
+        ms.access_run(addrs, [False] * k, eips)
+        assert fired == [eips[position]]
+
+    def test_empty_batch(self):
+        ms = make_memsys()
+        assert ms.access_run([], [], []) == 0
+        assert ms.access_run_segments(()) == 0
+        assert ms.sync_counters().counts["L1D_ACCESS"] == 0
+
+
 class TestPEBS:
     def make_unit(self, interval=10, **cfg_overrides):
         cfg = PEBSConfig(**cfg_overrides)
