@@ -13,7 +13,8 @@ bench list|run|history|compare|profile|migrate
 table1 | table2           regenerate a table
 fig2 .. fig8              regenerate a figure
 ablations                 run the ablation experiments
-cache stats | clear       inspect or drop the persistent result cache
+cache stats|prune|clear   inspect, trim, or drop the persistent result
+                          cache (records and resumable snapshots)
 
 ``bench`` runs the registered host-side benchmark cases (the CI perf
 gates) with warmup/repeats and robust stats, appends every run to the
@@ -41,7 +42,10 @@ Examples::
     python -m repro timeline db --coalloc
     python -m repro fig4 --benchmarks db,pseudojbb,compress --jobs 4
     python -m repro fig6 --progress
+    python -m repro run compress --until-cycles 2000000 --checkpoint-every 500000
+    python -m repro run compress --until-cycles 8000000 --resume
     python -m repro cache stats
+    python -m repro cache prune --max-bytes 50000000
     python -m repro bench run --all --json BENCH_report.json
     python -m repro bench compare --from BENCH_report.json
     python -m repro bench profile interp --collapsed interp.collapsed
@@ -96,10 +100,12 @@ def _run_spec(args) -> RunSpec:
         gc_plan=args.gc_plan,
         event=args.event,
         seed=args.seed,
+        until_cycles=getattr(args, "until_cycles", None),
     )
 
 
 def cmd_run(args) -> None:
+    from repro.harness import runner
     from repro.telemetry import Telemetry
     from repro.telemetry.export import (write_chrome_trace, write_jsonl,
                                         write_prometheus)
@@ -117,8 +123,40 @@ def cmd_run(args) -> None:
         from repro.lineage import DecisionLedger
 
         lineage = DecisionLedger()
+
+    resume_from = None
+    if args.resume:
+        # CLI resume accepts any checkpoint, pure or not: the user
+        # asked to continue *this* run, observers and all.  (The record
+        # cache is stricter — see `runner.best_snapshot`.)
+        disk = runner._disk()
+        if disk is not None:
+            resume_from = disk.get_snapshot(spec.base(),
+                                            max_cycle=spec.until_cycles)
+        if resume_from is None:
+            raise SystemExit(
+                f"run: no checkpoint to resume for this spec (run with "
+                f"--checkpoint-every first, and keep the same options)")
+
+    on_checkpoint = None
+    stored = []
+    if args.checkpoint_every or spec.until_cycles is not None:
+        def on_checkpoint(snap):
+            runner.store_snapshot(spec, snap)
+            stored.append(snap)
+
     result = execute(spec, telemetry=telemetry, lineage=lineage,
-                     fastpath=False if args.no_fastpath else None)
+                     fastpath=False if args.no_fastpath else None,
+                     resume_from=resume_from,
+                     checkpoint_every=args.checkpoint_every,
+                     on_checkpoint=on_checkpoint)
+    if resume_from is not None:
+        print(f"resumed              : from cycle {resume_from.cycle:,}")
+        # The snapshot's own observers continued through the resume;
+        # export whatever they accumulated, not the fresh (unused)
+        # telemetry/ledger built above.
+        if result.vm is not None and result.vm.telemetry.enabled:
+            telemetry = result.vm.telemetry
     print(f"benchmark            : {result.program}")
     print(f"cycles               : {result.cycles:,}")
     print(f"instructions         : {result.instructions:,}")
@@ -133,6 +171,13 @@ def cmd_run(args) -> None:
         print(f"monitoring           : {result.monitor_summary}")
     else:
         print("monitoring           : disabled")
+    truncated = result.vm is not None and bool(result.vm.cpu.frames)
+    if truncated:
+        print(f"truncated            : at --until-cycles {spec.until_cycles:,}"
+              f" (resume with --resume)")
+    if stored:
+        print(f"checkpoints          : {len(stored)} stored "
+              f"(cycles {', '.join(f'{s.cycle:,}' for s in stored)})")
     if telemetry is not None and args.trace:
         metadata = {"benchmark": spec.benchmark, "seed": spec.seed,
                     "gc_plan": spec.gc_plan, "coalloc": spec.coalloc}
@@ -474,6 +519,12 @@ def cmd_cache(args) -> None:
         removed = cache.clear()
         runner.clear_cache()
         print(f"removed {removed} cached result(s) from {cache.root}")
+    elif args.cache_command == "prune":
+        outcome = cache.prune(max_bytes=args.max_bytes)
+        runner.clear_cache()
+        print(f"pruned {outcome['removed_stale']} stale-version and "
+              f"{outcome['removed_current']} current-version entr(ies); "
+              f"{outcome['bytes'] / 1024:.1f} KiB remain in {cache.root}")
     else:
         import os
 
@@ -485,9 +536,14 @@ def cmd_cache(args) -> None:
         if stats["entries"] == 0 and stats["stale_entries"] == 0:
             print(f"cache: empty at {cache.root} (nothing cached yet)")
             return
+        rec, snap = stats["records"], stats["snapshots"]
         print(f"root          : {stats['root']}")
         print(f"code version  : {stats['version']}")
         print(f"entries       : {stats['entries']} (current version)")
+        print(f"  records     : {rec['entries']} "
+              f"({rec['bytes'] / 1024:.1f} KiB)")
+        print(f"  snapshots   : {snap['entries']} "
+              f"({snap['bytes'] / 1024:.1f} KiB)")
         print(f"stale entries : {stats['stale_entries']} (older versions)")
         print(f"size          : {stats['bytes'] / 1024:.1f} KiB")
 
@@ -524,6 +580,18 @@ def main(argv: Optional[List[str]] = None) -> None:
 
     run_p = sub.add_parser("run", help="run one benchmark")
     add_run_options(run_p)
+    run_p.add_argument("--until-cycles", type=int, default=None, metavar="N",
+                       help="stop at the first scheduler boundary past N "
+                            "cycles, record the truncated run, and leave a "
+                            "checkpoint behind for --resume")
+    run_p.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="capture a resumable checkpoint every N cycles "
+                            "(absolute grid, stored in the result cache)")
+    run_p.add_argument("--resume", action="store_true",
+                       help="continue from the latest cached checkpoint of "
+                            "this exact spec instead of starting at cycle 0 "
+                            "(bit-identical to never having stopped)")
     run_p.add_argument("--trace", metavar="PATH", default=None,
                        help="write the telemetry trace (Chrome trace-event "
                             "JSON; '.jsonl' suffix selects JSONL)")
@@ -645,9 +713,13 @@ def main(argv: Optional[List[str]] = None) -> None:
                         metavar="N", help="max differences to print")
 
     cache_p = sub.add_parser("cache",
-                             help="inspect or clear the persistent "
+                             help="inspect, prune, or clear the persistent "
                                   "result cache")
-    cache_p.add_argument("cache_command", choices=["stats", "clear"])
+    cache_p.add_argument("cache_command", choices=["stats", "clear", "prune"])
+    cache_p.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                         help="prune: evict oldest current-version entries "
+                              "until the cache fits in N bytes (stale code "
+                              "versions are always removed)")
 
     bench_p = sub.add_parser(
         "bench", help="host-side performance observatory: run the "

@@ -124,6 +124,10 @@ def diff_records(a: RunRecord, b: RunRecord,
                  "monitoring_cycles"):
         d.numeric(name, getattr(a, name), getattr(b, name))
 
+    # Guest exit value: a divergence here means the resumed/replayed
+    # run computed something else entirely — always significant.
+    d.categorical("exit_value", a.exit_value, b.exit_value)
+
     # Hardware counters.
     d.mapping("counters", a.counters, b.counters)
 

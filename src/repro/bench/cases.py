@@ -133,6 +133,81 @@ register(BenchCase(
 ))
 
 
+def run_interp_snapshot(params: Dict[str, object]) -> Dict[str, object]:
+    """Snapshot/resume: bit-identity plus the resumed-delta wall bound.
+
+    Splits one run into two legs at ``cut_fraction`` of its cycle
+    count.  The second leg (restore the checkpoint from wire bytes,
+    advance to the end, finish) must reproduce the unbroken record
+    bit-for-bit and cost at most ``max_delta_ratio`` of the full-run
+    wall time — the property that makes extending cached runs cheap.
+    """
+    from dataclasses import replace
+
+    from repro.harness import runner
+    from repro.harness.record import RunRecord
+    from repro.harness.runner import RunSpec
+    from repro.vm.snapshot import Snapshot
+
+    runner.set_disk_cache(None)
+    runner.clear_cache()
+    repeats = int(params["repeats"])
+    spec = RunSpec(benchmark=str(params["benchmark"]), coalloc=True,
+                   monitoring=True)
+    full_doc, full_s = _timed_interp_run(spec, None, repeats)
+
+    cut = int(full_doc["cycles"] * float(params["cut_fraction"]))
+    snaps = []
+    runner.execute(replace(spec, until_cycles=cut),
+                   on_checkpoint=snaps.append)
+    wire = snaps[-1].to_bytes()
+
+    best_delta = None
+    resumed_doc = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        vm = Snapshot.from_bytes(wire).restore()
+        vm.advance()
+        result = vm.finish()
+        elapsed = time.perf_counter() - start
+        resumed_doc = RunRecord.from_result(result).to_json()
+        if best_delta is None or elapsed < best_delta:
+            best_delta = elapsed
+
+    ratio = best_delta / full_s if full_s else float("inf")
+    return {
+        "benchmark": params["benchmark"],
+        "repeats": repeats,
+        "cut_fraction": params["cut_fraction"],
+        "cut_cycle": snaps[-1].cycle,
+        "snapshot_kib": round(len(wire) / 1024, 1),
+        "full_seconds": round(full_s, 3),
+        "delta_seconds": round(best_delta, 3),
+        "delta_ratio": round(ratio, 3),
+        "max_delta_ratio": params["max_delta_ratio"],
+        "identical": resumed_doc == full_doc,
+    }
+
+
+register(BenchCase(
+    name="interp_snapshot",
+    description="snapshot/resume: resumed run bit-identical to the "
+                "unbroken run, resumed delta within its wall-time bound",
+    run=run_interp_snapshot,
+    params={"benchmark": "fop", "repeats": 2, "cut_fraction": 0.7,
+            "max_delta_ratio": 0.5},
+    gates=(
+        Gate("identical", "==", True,
+             "resumed record bit-identical to the unbroken record"),
+        Gate("delta_ratio", "<=", "max_delta_ratio",
+             "second-leg wall time / full-run wall time ceiling"),
+    ),
+    primary_metric="delta_ratio",
+    primary_direction="lower",
+    compare_threshold=0.20,
+))
+
+
 def run_engine(params: Dict[str, object]) -> Dict[str, object]:
     """Engine cold serial vs cold parallel, then zero-work warm replay."""
     from repro.harness import engine, runner

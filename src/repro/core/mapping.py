@@ -54,17 +54,20 @@ class SampleResolver:
 
     def __init__(self, codecache: CodeCache):
         self.codecache = codecache
-        self._interest: Dict[int, InterestMap] = {}
+        # Keyed by the CompiledMethod itself (identity hash): id()
+        # keys would dangle after a snapshot round-trip re-creates
+        # the object graph at new addresses.
+        self._interest: Dict[CompiledMethod, InterestMap] = {}
         self.stats = ResolutionStats()
 
     def register_method(self, cm: CompiledMethod) -> InterestMap:
         """Run the instructions-of-interest filter for a new method."""
         table = analyze_compiled_method(cm)
-        self._interest[id(cm)] = table
+        self._interest[cm] = table
         return table
 
     def interest_table(self, cm: CompiledMethod) -> InterestMap:
-        return self._interest.get(id(cm), {})
+        return self._interest.get(cm, {})
 
     def interesting_pairs(self) -> int:
         """Total (S, f) pairs across all registered methods."""
@@ -82,7 +85,7 @@ class SampleResolver:
         pc = cm.pc_of_eip(eip)
         bc_index = cm.bc_map[pc]
         ir_id = cm.ir_map[pc]
-        interest = self._interest.get(id(cm))
+        interest = self._interest.get(cm)
         fld: Optional[FieldInfo] = None
         if interest is not None and ir_id is not None:
             fld = interest.get(ir_id)

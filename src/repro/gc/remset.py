@@ -19,7 +19,10 @@ class RememberedSet:
 
     def __init__(self):
         self._entries: List[Tuple[object, int]] = []
-        self._seen: Set[Tuple[int, int]] = set()
+        # (holder, slot) keyed by the holder object itself, not
+        # id(holder): membership must survive a snapshot pickle,
+        # and heap objects hash by identity.
+        self._seen: Set[Tuple[object, int]] = set()
         self.barrier_stores = 0
         self.remembered = 0
 
@@ -35,7 +38,7 @@ class RememberedSet:
             return False
         if value.space != SPACE_NURSERY:
             return False
-        key = (id(holder), slot_index)
+        key = (holder, slot_index)
         if key in self._seen:
             return False
         self._seen.add(key)

@@ -34,6 +34,7 @@ from dataclasses import asdict
 from typing import Optional
 
 from repro.harness.record import RunRecord, SCHEMA_VERSION
+from repro.vm.snapshot import Snapshot, SnapshotError
 
 #: Default cache root, relative to the working directory.
 DEFAULT_ROOT = os.path.join("results", ".cache")
@@ -92,8 +93,12 @@ class DiskCache:
         self.root = root or cache_root()
         self.version = version or code_version()
         #: Session counters (surfaced by ``cache stats`` and tests).
+        #: Records and snapshots count separately so snapshot probes
+        #: never perturb the record hit rate.
         self.hits = 0
         self.misses = 0
+        self.snapshot_hits = 0
+        self.snapshot_misses = 0
 
     def _entry_path(self, spec) -> str:
         return os.path.join(self.root, self.version, spec_key(spec) + ".json")
@@ -136,6 +141,77 @@ class DiskCache:
             json.dump(doc, fh)
         os.replace(tmp, path)
 
+    # -- snapshots -----------------------------------------------------------
+    #
+    # Snapshot entries checkpoint a run mid-flight so a later process
+    # can simulate only the delta.  They are keyed by the *base* spec
+    # (the runner strips ``until_cycles`` before calling in) plus the
+    # captured cycle: ``<root>/<version>/<key>.snap.<cycle>.bin`` —
+    # every ``until_cycles`` extension of the same configuration shares
+    # one checkpoint family.
+
+    def _snapshot_path(self, spec, cycle: int) -> str:
+        return os.path.join(self.root, self.version,
+                            f"{spec_key(spec)}.snap.{cycle}.bin")
+
+    def snapshot_cycles(self, spec) -> "list[int]":
+        """Checkpoint cycles available for ``spec``, ascending."""
+        prefix = spec_key(spec) + ".snap."
+        directory = os.path.join(self.root, self.version)
+        cycles = []
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return cycles
+        for name in names:
+            if name.startswith(prefix) and name.endswith(".bin"):
+                try:
+                    cycles.append(int(name[len(prefix):-len(".bin")]))
+                except ValueError:
+                    continue
+        cycles.sort()
+        return cycles
+
+    def put_snapshot(self, spec, snapshot: Snapshot) -> str:
+        """Store one checkpoint atomically; returns its path."""
+        path = self._snapshot_path(spec, snapshot.cycle)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(snapshot.to_bytes())
+        os.replace(tmp, path)
+        return path
+
+    def get_snapshot(self, spec, max_cycle: Optional[int] = None,
+                     require_pure: bool = False) -> Optional[Snapshot]:
+        """The latest checkpoint strictly before ``max_cycle`` (or the
+        latest overall), or None.  Corrupt entries are deleted and
+        treated as misses, exactly like records.  ``require_pure``
+        skips snapshots whose VM carries live observers (the record
+        cache must only resume those — see :attr:`Snapshot.pure`)."""
+        candidates = [c for c in self.snapshot_cycles(spec)
+                      if max_cycle is None or c < max_cycle]
+        while candidates:
+            cycle = candidates.pop()
+            path = self._snapshot_path(spec, cycle)
+            try:
+                with open(path, "rb") as fh:
+                    snapshot = Snapshot.from_bytes(fh.read())
+            except FileNotFoundError:
+                continue
+            except (OSError, SnapshotError):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                continue
+            if require_pure and not snapshot.pure:
+                continue
+            self.snapshot_hits += 1
+            return snapshot
+        self.snapshot_misses += 1
+        return None
+
     # -- maintenance ---------------------------------------------------------
 
     def clear(self) -> int:
@@ -152,29 +228,100 @@ class DiskCache:
                     removed += 1
         return removed
 
+    def _walk_entries(self):
+        """Yield ``(path, kind, current, size, mtime)`` per cache file.
+
+        ``kind`` is ``"record"`` (``*.json``) or ``"snapshot"``
+        (``*.snap.<cycle>.bin``); anything else (tmp droppings) is
+        skipped.
+        """
+        if not os.path.isdir(self.root):
+            return
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            current = os.path.basename(dirpath) == self.version
+            for name in filenames:
+                if name.endswith(".json"):
+                    kind = "record"
+                elif name.endswith(".bin") and ".snap." in name:
+                    kind = "snapshot"
+                else:
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                yield path, kind, current, st.st_size, st.st_mtime
+
     def stats(self) -> dict:
-        """Entry counts and sizes, current version vs. stale versions."""
+        """Entry counts and sizes, split by kind and by staleness."""
         current = stale = total_bytes = 0
-        if os.path.isdir(self.root):
-            for dirpath, _dirnames, filenames in os.walk(self.root):
-                for name in filenames:
-                    if not name.endswith(".json"):
-                        continue
-                    path = os.path.join(dirpath, name)
-                    try:
-                        total_bytes += os.path.getsize(path)
-                    except OSError:
-                        continue
-                    if os.path.basename(dirpath) == self.version:
-                        current += 1
-                    else:
-                        stale += 1
+        by_kind = {"record": {"entries": 0, "bytes": 0},
+                   "snapshot": {"entries": 0, "bytes": 0}}
+        for _path, kind, is_current, size, _mtime in self._walk_entries():
+            total_bytes += size
+            if is_current:
+                current += 1
+                by_kind[kind]["entries"] += 1
+                by_kind[kind]["bytes"] += size
+            else:
+                stale += 1
         return {
             "root": self.root,
             "version": self.version,
             "entries": current,
             "stale_entries": stale,
             "bytes": total_bytes,
+            "records": by_kind["record"],
+            "snapshots": by_kind["snapshot"],
             "session_hits": self.hits,
             "session_misses": self.misses,
+            "session_snapshot_hits": self.snapshot_hits,
+            "session_snapshot_misses": self.snapshot_misses,
+        }
+
+    def prune(self, max_bytes: Optional[int] = None) -> dict:
+        """Evict stale code versions, then trim to a byte budget.
+
+        Every entry under a non-current version directory is removed
+        unconditionally (results from other code can never be served
+        again).  If ``max_bytes`` is given and the surviving entries
+        still exceed it, current-version entries are evicted oldest-
+        mtime-first — snapshots and records alike, since both are pure
+        functions of (spec, code) and regenerate on demand.
+        """
+        removed_stale = removed_current = 0
+        survivors = []
+        for path, _kind, is_current, size, mtime in self._walk_entries():
+            if is_current:
+                survivors.append((mtime, size, path))
+            else:
+                try:
+                    os.remove(path)
+                    removed_stale += 1
+                except OSError:
+                    pass
+        # Sweep now-empty stale version directories.
+        if os.path.isdir(self.root):
+            for name in os.listdir(self.root):
+                path = os.path.join(self.root, name)
+                if os.path.isdir(path) and name != self.version \
+                        and not os.listdir(path):
+                    shutil.rmtree(path, ignore_errors=True)
+        remaining = sum(size for _mtime, size, _path in survivors)
+        if max_bytes is not None:
+            survivors.sort()  # oldest first
+            for mtime, size, path in survivors:
+                if remaining <= max_bytes:
+                    break
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                removed_current += 1
+                remaining -= size
+        return {
+            "removed_stale": removed_stale,
+            "removed_current": removed_current,
+            "bytes": remaining,
         }

@@ -298,6 +298,143 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     return [runner.record_for(spec) for spec in specs]
 
 
+def _run_leg(payload) -> dict:
+    """Worker entry point: simulate one checkpoint leg of one spec.
+
+    A leg starts from a shipped snapshot (or cycle 0) and advances to
+    the next absolute ``leg_cycles`` grid boundary.  An unfinished leg
+    returns its boundary snapshot (wire form) for the parent to ship
+    into the next leg; the final leg runs ``finish()`` and mints the
+    record in-worker, exactly like :func:`_run_one`.
+    """
+    spec_dict, snap_data, leg_cycles = payload
+    spec = RunSpec(**spec_dict)
+    from repro.vm.snapshot import Snapshot
+
+    if snap_data is not None:
+        vm = Snapshot.from_bytes(snap_data).restore()
+    else:
+        from repro.vm.vmcore import VM
+        from repro.workloads import suite
+
+        workload = suite.build(spec.benchmark)
+        config = spec.system_config(workload.min_heap_bytes)
+        vm = VM(workload.program, config, compilation_plan=workload.plan)
+        vm.begin()
+    grid = (vm.cpu.cycles // leg_cycles + 1) * leg_cycles
+    stop = grid if spec.until_cycles is None \
+        else min(grid, spec.until_cycles)
+    done = vm.advance(until_cycles=stop)
+    truncated = (not done and spec.until_cycles is not None
+                 and vm.cpu.cycles >= spec.until_cycles)
+    if not done and not truncated:
+        return {"kind": "snapshot",
+                "data": Snapshot.capture(vm).to_bytes()}
+    end_state = None if done else Snapshot.capture(vm).to_bytes()
+    record = runner.record_from_result(spec, vm.finish())
+    return {"kind": "record", "record": record.to_json(),
+            "end_state": end_state}
+
+
+def run_specs_sharded(specs: Iterable[RunSpec], leg_cycles: int,
+                      jobs: Optional[int] = None,
+                      progress: Optional[ProgressSink] = None,
+                      ) -> List[RunRecord]:
+    """Compute records with each run pipelined as checkpoint legs.
+
+    One run cannot be parallelized internally — leg N+1 needs leg N's
+    end state — but while a spec waits for its next leg to be
+    scheduled, *other specs'* legs fill the pool, and the parent
+    overlaps its per-leg analysis work (installing checkpoints and
+    finished records into the cache layers) with the simulation still
+    in flight.  A suite of long runs therefore finishes in roughly
+    ``max`` instead of ``sum`` of the per-spec chains on multi-core.
+
+    Results are bit-identical to :func:`run_specs`: legs stop on the
+    same scheduler-quantum boundaries the unbroken run passes through,
+    and every leg boundary snapshot feeds the runner's snapshot cache
+    so later ``until_cycles`` extensions resume instead of re-running.
+    """
+    if leg_cycles < 1:
+        raise ValueError(f"leg_cycles must be >= 1, got {leg_cycles}")
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    progress = _resolve_progress(progress)
+
+    from repro.vm.snapshot import Snapshot
+
+    missing: List[RunSpec] = []
+    seen = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            if runner.cached_record(spec) is None:
+                missing.append(spec)
+            elif progress is not None:
+                progress.emit(JobEvent("cache-hit", spec.benchmark,
+                                       spec_key(spec), index=len(seen) - 1,
+                                       total=0))
+
+    if missing:
+        total = len(missing)
+        keys = [spec_key(spec) for spec in missing]
+        payloads = [(asdict(spec), None, leg_cycles) for spec in missing]
+        started = time.monotonic()
+        completed = 0
+
+        def absorb(i: int, outcome: dict) -> Optional[tuple]:
+            """Install a leg's product; next payload if the chain
+            continues, None when the spec is done."""
+            nonlocal completed
+            for data in (outcome.get("data"), outcome.get("end_state")):
+                if data is not None:
+                    runner.store_snapshot(missing[i],
+                                          Snapshot.from_bytes(data))
+            if outcome["kind"] == "snapshot":
+                if progress is not None:
+                    progress.emit(JobEvent("leg", missing[i].benchmark,
+                                           keys[i], index=i, total=total,
+                                           completed=completed))
+                return (payloads[i][0], outcome["data"], leg_cycles)
+            runner.store_record(missing[i],
+                                RunRecord.from_json(outcome["record"]))
+            completed += 1
+            if progress is not None:
+                elapsed = time.monotonic() - started
+                eta = elapsed / completed * (total - completed)
+                progress.emit(JobEvent("finished", missing[i].benchmark,
+                                       keys[i], index=i, total=total,
+                                       completed=completed, eta_s=eta))
+            return None
+
+        if progress is not None:
+            for i, spec in enumerate(missing):
+                progress.emit(JobEvent("queued", spec.benchmark, keys[i],
+                                       index=i, total=total))
+        if jobs == 1 or total == 1:
+            for i in range(total):
+                payload = payloads[i]
+                while payload is not None:
+                    payload = absorb(i, _run_leg(payload))
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+                futures = {pool.submit(_run_leg, payloads[i]): i
+                           for i in range(total)}
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        i = futures.pop(fut)
+                        nxt = absorb(i, fut.result())
+                        if nxt is not None:
+                            fresh = pool.submit(_run_leg, nxt)
+                            futures[fresh] = i
+                            pending.add(fresh)
+
+    return [runner.record_for(spec) for spec in specs]
+
+
 def warm(specs: Iterable[RunSpec], jobs: Optional[int] = None,
          trace_dir: Optional[str] = None,
          progress: Optional[ProgressSink] = None) -> int:

@@ -25,13 +25,15 @@ from repro.gc.stats import GCStats
 
 #: Bump when the record layout changes; part of the disk-cache key.
 #: Version 3 added the optional ``lineage`` document (the serialized
-#: decision ledger); version-2 records load fine — they simply carry no
-#: lineage — so caches survive the bump.
-SCHEMA_VERSION = 3
+#: decision ledger); version 4 added ``exit_value`` (the guest main's
+#: return value — None for runs truncated by ``until_cycles``), which
+#: the snapshot bit-identity gates compare.  Older records load fine —
+#: they simply carry the field defaults — so caches survive the bumps.
+SCHEMA_VERSION = 4
 
 #: Schemas :meth:`RunRecord.from_json` accepts.  Older versions listed
 #: here differ only by fields that have safe defaults.
-COMPATIBLE_SCHEMAS = (2, 3)
+COMPATIBLE_SCHEMAS = (2, 3, 4)
 
 
 @dataclass
@@ -60,6 +62,10 @@ class RunRecord:
     #: (:func:`repro.harness.runner.record_from_result`); None for
     #: records built directly from a RunResult.
     provenance: Optional[dict] = None
+    #: The guest main method's return value (a guest int, or None for
+    #: a run truncated by an ``until_cycles`` bound or a legacy
+    #: record).  Must stay JSON-representable.
+    exit_value: object = None
     #: Serialized decision ledger (:meth:`DecisionLedger.to_json`):
     #: ``{"schema", "entries", "dropped"}``.  None when the run carried
     #: no ledger (the default) and for legacy schema-2 records.
@@ -143,6 +149,7 @@ class RunRecord:
             map_sizes=map_sizes,
             reverted_experiments=reverted,
             moving_average_window=window,
+            exit_value=result.exit_value,
             lineage=lineage,
         )
 
@@ -165,6 +172,7 @@ class RunRecord:
             "map_sizes": list(self.map_sizes),
             "reverted_experiments": list(self.reverted_experiments),
             "moving_average_window": self.moving_average_window,
+            "exit_value": self.exit_value,
             "provenance": self.provenance,
             "lineage": self.lineage,
         }
@@ -191,6 +199,7 @@ class RunRecord:
             map_sizes=tuple(doc["map_sizes"]),
             reverted_experiments=list(doc["reverted_experiments"]),
             moving_average_window=doc["moving_average_window"],
+            exit_value=doc.get("exit_value"),
             provenance=doc.get("provenance"),
             lineage=doc.get("lineage"),
         )

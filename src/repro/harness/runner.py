@@ -31,7 +31,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.config import GCConfig, SystemConfig, scaled_interval
 from repro.harness import diskcache
 from repro.harness.record import RunRecord
-from repro.vm.vmcore import RunResult, VM, run_program
+from repro.vm import snapshot as snapshot_mod
+from repro.vm.snapshot import Snapshot
+from repro.vm.vmcore import RunResult, VM
 from repro.workloads import suite
 
 #: Interval names accepted by the harness: the paper's three plus auto.
@@ -41,6 +43,17 @@ INTERVAL_NAMES = ("25K", "50K", "100K", "auto")
 #: cache layer) — the counter the warm-cache "zero simulation work"
 #: assertions read.
 SIM_RUNS = 0
+
+#: Cycles actually *simulated* by this process.  A resumed run adds
+#: only its delta, which is how tests prove that extending a cached
+#: ``until_cycles`` run never re-executes the prefix.
+SIM_CYCLES = 0
+
+#: Checkpoint grid ``measure(repeats)`` uses when it has to simulate
+#: the first seed itself: coarse enough to stay cheap, fine enough
+#: that seed-invariant specs (see :func:`repro.vm.snapshot.reseed`)
+#: reuse most of the prefix for every further seed.
+MEASURE_CHECKPOINT_EVERY = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -55,6 +68,15 @@ class RunSpec:
     gc_plan: str = "genms"
     event: str = "L1D_MISS"
     seed: int = 1
+    #: Stop (and record) once the cycle clock passes this bound; None
+    #: runs to completion.  Two specs differing only here share one
+    #: checkpoint family in the caches (see :func:`base_spec`).
+    until_cycles: Optional[int] = None
+
+    def base(self) -> "RunSpec":
+        """The spec with the cycle bound stripped — the snapshot key."""
+        return replace(self, until_cycles=None) if self.until_cycles \
+            else self
 
     def system_config(self, min_heap_bytes: int) -> SystemConfig:
         sampling = (None if self.interval == "auto"
@@ -96,6 +118,8 @@ class Measurement:
 
 _CACHE: Dict[RunSpec, Measurement] = {}
 _RECORDS: Dict[RunSpec, RunRecord] = {}
+#: In-process checkpoint memo: base spec -> {cycle: Snapshot}.
+_SNAPSHOTS: Dict[RunSpec, Dict[int, Snapshot]] = {}
 _DISK: Optional[diskcache.DiskCache] = None
 _DISK_RESOLVED = False
 
@@ -117,29 +141,80 @@ def set_disk_cache(cache: Optional[diskcache.DiskCache]) -> None:
 
 
 def execute(spec: RunSpec, telemetry=None, fastpath=None,
-            lineage=None) -> RunResult:
+            lineage=None, resume_from: Optional[Snapshot] = None,
+            checkpoint_every: Optional[int] = None,
+            on_checkpoint=None) -> RunResult:
     """Run one spec once (no caching).
 
     ``telemetry``, ``lineage``, and ``fastpath`` ride on the
     :class:`SystemConfig`, never on the frozen spec, so they cannot
     pollute the memoization key used by :func:`measure` (nor the
     disk-cache key): telemetry and the lineage ledger are pure
-    observers, and the two interpreters are bit-identical, so a record
+    observers, and the interpreters are bit-identical, so a record
     computed under any knob setting is valid for all of them.
+
+    ``resume_from`` continues a captured :class:`Snapshot` instead of
+    simulating from cycle 0 — bit-identical to the unbroken run.  A
+    resumed run keeps the snapshot's own telemetry/lineage observers
+    (they hold the already-recorded prefix); only ``fastpath`` may be
+    overridden.  ``checkpoint_every`` slices the run on an absolute
+    cycle grid and hands each boundary snapshot to ``on_checkpoint``;
+    the grid is absolute (multiples of the stride, not offsets from
+    the start) so resumed legs land on the same checkpoints the
+    unbroken run would.
     """
-    global SIM_RUNS
     if spec.interval not in INTERVAL_NAMES:
         raise ValueError(f"unknown interval {spec.interval!r}")
+    if resume_from is not None:
+        vm = resume_from.restore(fastpath=fastpath)
+    else:
+        workload = suite.build(spec.benchmark)
+        config = spec.system_config(workload.min_heap_bytes)
+        if telemetry is not None:
+            config.telemetry = telemetry
+        if lineage is not None:
+            config.lineage = lineage
+        if fastpath is not None:
+            config.fastpath = fastpath
+        vm = VM(workload.program, config, compilation_plan=workload.plan)
+        vm.begin()
+    return _drive(vm, until_cycles=spec.until_cycles,
+                  checkpoint_every=checkpoint_every,
+                  on_checkpoint=on_checkpoint)
+
+
+def _drive(vm: VM, until_cycles: Optional[int] = None,
+           checkpoint_every: Optional[int] = None,
+           on_checkpoint=None) -> RunResult:
+    """Advance a begun (or restored) VM to its end state and finish it.
+
+    The end state is completion, or the first scheduler-quantum
+    boundary past ``until_cycles``.  When the run is truncated by the
+    bound, a final snapshot is captured *before* ``finish()`` (whose
+    sample drain mutates controller state), so the same simulation
+    yields both the truncated record and the checkpoint a later
+    extension resumes from.
+    """
+    global SIM_RUNS, SIM_CYCLES
     SIM_RUNS += 1
-    workload = suite.build(spec.benchmark)
-    config = spec.system_config(workload.min_heap_bytes)
-    if telemetry is not None:
-        config.telemetry = telemetry
-    if lineage is not None:
-        config.lineage = lineage
-    if fastpath is not None:
-        config.fastpath = fastpath
-    return run_program(workload.program, config, compilation_plan=workload.plan)
+    start_cycles = vm.cpu.cycles
+    done = False
+    while not done:
+        stop = until_cycles
+        if checkpoint_every:
+            grid = (vm.cpu.cycles // checkpoint_every + 1) * checkpoint_every
+            stop = grid if until_cycles is None else min(grid, until_cycles)
+        done = vm.advance(until_cycles=stop)
+        if done:
+            break
+        if until_cycles is not None and vm.cpu.cycles >= until_cycles:
+            break
+        if on_checkpoint is not None:
+            on_checkpoint(Snapshot.capture(vm))
+    if not done and on_checkpoint is not None:
+        on_checkpoint(Snapshot.capture(vm))
+    SIM_CYCLES += vm.cpu.cycles - start_cycles
+    return vm.finish()
 
 
 def cached_record(spec: RunSpec) -> Optional[RunRecord]:
@@ -178,27 +253,132 @@ def record_from_result(spec: RunSpec, result: RunResult,
     return record
 
 
-def record_for(spec: RunSpec) -> RunRecord:
-    """One spec's portable result: memo -> disk -> simulate."""
+def store_snapshot(spec: RunSpec, snap: Snapshot) -> None:
+    """Install one checkpoint in the memo and disk layers.
+
+    Keyed by the *base* spec (``until_cycles`` stripped): every cycle
+    bound of the same configuration draws from one checkpoint family.
+    """
+    base = spec.base()
+    _SNAPSHOTS.setdefault(base, {})[snap.cycle] = snap
+    disk = _disk()
+    if disk is not None:
+        disk.put_snapshot(base, snap)
+
+
+def best_snapshot(spec: RunSpec) -> Optional[Snapshot]:
+    """The latest cached checkpoint usable for ``spec``, or None.
+
+    Usable means *pure* (no live observers — a cached record must come
+    out identical whether simulated fresh or resumed) and strictly
+    before the spec's ``until_cycles`` bound (resuming at or past the
+    bound would skip the recorded end state).
+    """
+    base = spec.base()
+    bound = spec.until_cycles
+    memo = _SNAPSHOTS.get(base, {})
+    cycles = [c for c in memo
+              if memo[c].pure and (bound is None or c < bound)]
+    best = memo[max(cycles)] if cycles else None
+    disk = _disk()
+    if disk is not None:
+        from_disk = disk.get_snapshot(base, max_cycle=bound,
+                                      require_pure=True)
+        if from_disk is not None and (best is None
+                                      or from_disk.cycle > best.cycle):
+            _SNAPSHOTS.setdefault(base, {})[from_disk.cycle] = from_disk
+            best = from_disk
+    return best
+
+
+def record_for(spec: RunSpec,
+               checkpoint_every: Optional[int] = None) -> RunRecord:
+    """One spec's portable result: memo -> disk -> simulate.
+
+    Simulation resumes from the best cached checkpoint when one
+    exists, and a run truncated by ``until_cycles`` deposits its end
+    state back into the snapshot layers — so extending a bounded run's
+    horizon simulates only the delta (``SIM_CYCLES`` proves it).
+    """
     record = cached_record(spec)
-    if record is None:
-        record = record_from_result(spec, execute(spec))
-        store_record(spec, record)
+    if record is not None:
+        return record
+    on_checkpoint = None
+    if spec.until_cycles is not None or checkpoint_every:
+        def on_checkpoint(snap, _spec=spec):
+            store_snapshot(_spec, snap)
+    result = execute(spec, resume_from=best_snapshot(spec),
+                     checkpoint_every=checkpoint_every,
+                     on_checkpoint=on_checkpoint)
+    record = record_from_result(spec, result)
+    store_record(spec, record)
     return record
+
+
+def _record_via_reseed(spec: RunSpec,
+                       donor: RunSpec) -> Optional[RunRecord]:
+    """Derive ``spec``'s record from a *different-seeded* checkpoint.
+
+    ``donor`` is the same configuration under another seed.  A donor
+    checkpoint taken while the run was still seed-invariant — before
+    any PEBS sample fired, at most the configure-time jitter draw deep
+    (see :func:`repro.vm.snapshot.reseed`) — restores into a bit-exact
+    prefix of ``spec``'s own unbroken run, so only the tail needs
+    simulating.  Tries the newest qualifying checkpoint first; returns
+    None when no prefix can be retargeted (callers fall back to a
+    full run).
+    """
+    base = donor.base()
+    candidates = dict(_SNAPSHOTS.get(base, {}))
+    disk = _disk()
+    if disk is not None:
+        for cycle in disk.snapshot_cycles(base):
+            if cycle not in candidates:
+                snap = disk.get_snapshot(base, max_cycle=cycle + 1)
+                if snap is not None:
+                    candidates[snap.cycle] = snap
+    bound = spec.until_cycles
+    for cycle in sorted(candidates, reverse=True):
+        if bound is not None and cycle >= bound:
+            continue
+        if not candidates[cycle].pure:
+            continue
+        vm = candidates[cycle].restore()
+        if not snapshot_mod.reseed(vm, spec.seed):
+            continue
+        record = record_from_result(spec, _drive(vm, until_cycles=bound))
+        store_record(spec, record)
+        return record
+    return None
 
 
 def measure(spec: RunSpec, repeats: int = 1) -> Measurement:
     """Run (cached) with ``repeats`` seeds; aggregate cycle counts.
 
     Each repetition seed is cached independently, so raising ``repeats``
-    only computes the seeds not already measured.
+    only computes the seeds not already measured.  When the first seed
+    must actually be simulated for a multi-seed measurement, the run is
+    checkpointed on the :data:`MEASURE_CHECKPOINT_EVERY` grid and later
+    seeds try to *reseed* the deepest still-seed-invariant checkpoint
+    instead of re-simulating the shared prefix (full-run fallback when
+    the invariant fails — see :func:`_record_via_reseed`).
     """
     cached = _CACHE.get(spec)
     if cached is not None and len(cached.results) >= repeats:
         return cached
-    records = [record_for(spec if r == 0 else
-                          replace(spec, seed=spec.seed + r))
-               for r in range(repeats)]
+    records = []
+    for r in range(repeats):
+        if r == 0:
+            every = MEASURE_CHECKPOINT_EVERY if repeats > 1 else None
+            records.append(record_for(spec, checkpoint_every=every))
+            continue
+        seeded = replace(spec, seed=spec.seed + r)
+        record = cached_record(seeded)
+        if record is None:
+            record = _record_via_reseed(seeded, spec)
+        if record is None:
+            record = record_for(seeded)
+        records.append(record)
     cycles = [r.cycles for r in records]
     measurement = Measurement(
         spec=spec,
@@ -214,6 +394,7 @@ def clear_cache(disk: bool = False) -> None:
     """Drop the in-process memo; with ``disk=True`` also the disk layer."""
     _CACHE.clear()
     _RECORDS.clear()
+    _SNAPSHOTS.clear()
     if disk:
         layer = _disk()
         if layer is not None:

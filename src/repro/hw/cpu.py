@@ -150,10 +150,14 @@ class CPU:
 
     def call_main(self, method) -> object:
         """Execute a no-argument method to completion; returns its value."""
-        cm = self.runtime.compiled_code_for(method)
-        self._push_frame(cm, ())
+        self.begin_main(method)
         self.run()
         return self.exit_value
+
+    def begin_main(self, method) -> None:
+        """Push the entry frame without running (for sliced execution)."""
+        cm = self.runtime.compiled_code_for(method)
+        self._push_frame(cm, ())
 
     def gc_roots(self):
         """Enumerate live references from all frames via GC maps."""

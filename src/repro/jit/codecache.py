@@ -94,6 +94,15 @@ class CompiledMethod:
     def ir_id(self, eip: int) -> Optional[int]:
         return self.ir_map[self.pc_of_eip(eip)]
 
+    def __getstate__(self):
+        # The translation is a web of closures over CPU internals —
+        # unpicklable by construction.  Drop it from snapshots;
+        # repro.hw.translate.translation_for rebuilds it (determin-
+        # istically, from self.code) on first execution after restore.
+        state = self.__dict__.copy()
+        state["translation"] = None
+        return state
+
     def __repr__(self) -> str:
         kind = "opt" if self.level == LEVEL_OPT else "base"
         return (f"<compiled {self.method.qualified_name} [{kind}] "

@@ -52,6 +52,12 @@ DECISION_KINDS = (K_EXPERIMENT, K_VERDICT, K_REVERT, K_GAP, K_PLACEMENT,
 _NO_PARENTS: Tuple[int, ...] = ()
 
 
+def _zero_clock() -> int:
+    """Default clock before a VM binds one; module-level (not a
+    lambda) so an unbound ledger pickles inside a run snapshot."""
+    return 0
+
+
 class DecisionLedger:
     """Append-only log of causally-linked online-optimization events."""
 
@@ -63,7 +69,7 @@ class DecisionLedger:
         self.max_entries = max_entries
         #: Entries discarded after :attr:`max_entries` was reached.
         self.dropped = 0
-        self._clock: Callable[[], int] = lambda: 0
+        self._clock: Callable[[], int] = _zero_clock
         # Causal bookkeeping (all integer ids; -1 = none yet).
         self._open_batch = -1
         self._period_attrs: List[int] = []

@@ -80,6 +80,16 @@ class _SpanContext:
         return False
 
 
+def _zero_clock() -> int:
+    """Default clock before a VM binds its cycle counter.
+
+    A module-level function (not a lambda) so an unbound tracer — and a
+    tracer caught inside a run snapshot — pickles.  The VM re-binds the
+    real cycle clock on construction and again on snapshot restore.
+    """
+    return 0
+
+
 class Tracer:
     """Collects spans/instants/samples stamped with the simulated clock."""
 
@@ -91,7 +101,7 @@ class Tracer:
     max_events = 500_000
 
     def __init__(self, clock: Optional[Callable[[], int]] = None):
-        self.clock: Callable[[], int] = clock or (lambda: 0)
+        self.clock: Callable[[], int] = clock or _zero_clock
         self.spans: List[SpanEvent] = []
         self.instants: List[InstantEvent] = []
         self.samples: List[CounterSample] = []

@@ -15,6 +15,34 @@ from itertools import count
 from typing import Callable, List, Tuple
 
 
+class _RepeatingEvent:
+    """A self-rescheduling heap entry.
+
+    A class rather than a closure so a scheduler heap caught inside a
+    run snapshot pickles: closures cannot be serialized, but an
+    instance holding (scheduler, interval, fn) round-trips as long as
+    ``fn`` is itself picklable (a bound method in every VM use).
+    """
+
+    __slots__ = ("scheduler", "interval", "fn", "cancelled")
+
+    def __init__(self, scheduler: "VirtualTimeScheduler", interval: int,
+                 fn: Callable[[int], None]):
+        self.scheduler = scheduler
+        self.interval = interval
+        self.fn = fn
+        self.cancelled = False
+
+    def __call__(self, now: int) -> None:
+        if self.cancelled:
+            return
+        self.fn(now)
+        self.scheduler.at(now + self.interval, self)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class VirtualTimeScheduler:
     """A min-heap of (cycle, callback) events."""
 
@@ -37,20 +65,9 @@ class VirtualTimeScheduler:
         """Schedule a repeating event; returns a cancel function."""
         if interval <= 0:
             raise ValueError("interval must be positive")
-        cancelled = [False]
-
-        def tick(now: int) -> None:
-            if cancelled[0]:
-                return
-            fn(now)
-            self.at(now + interval, tick)
-
-        self.at(start + interval, tick)
-
-        def cancel() -> None:
-            cancelled[0] = True
-
-        return cancel
+        event = _RepeatingEvent(self, interval, fn)
+        self.at(start + interval, event)
+        return event.cancel
 
     @property
     def next_time(self) -> "int | None":

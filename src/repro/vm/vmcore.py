@@ -137,22 +137,27 @@ class VM:
         self.cpu = CPU(self.config.machine, self.memsys, runtime=self,
                        scheduler=self.scheduler,
                        fastpath=self.config.fastpath)
-        # Trace and ledger timestamps come from the simulated cycle clock.
-        self.telemetry.bind_clock(lambda: self.cpu.cycles)
-        self.lineage.bind_clock(lambda: self.cpu.cycles)
+        # Trace and ledger timestamps come from the simulated cycle
+        # clock.  Bound methods, not lambdas: the binding must survive
+        # a snapshot pickle (repro.vm.snapshot), which closures cannot.
+        self.telemetry.bind_clock(self._cycle_clock)
+        self.lineage.bind_clock(self._cycle_clock)
         self.method_profiler = None
         if self.config.method_profiling:
             from repro.core.counting import MethodProfiler
 
             self.method_profiler = MethodProfiler(
-                event_reader=lambda: self.memsys.n_l1_miss,
+                event_reader=self._read_l1_misses,
                 charge=self._charge_monitoring)
             self.cpu.profiler = self.method_profiler
 
         # JIT.
         self.aos = AdaptiveOptimizationSystem(self.config.jit)
         self._statics_cursor = layout.STATICS_BASE
-        self._static_bases: Dict[int, int] = {}
+        self._static_bases: Dict[ClassInfo, int] = {}
+        #: Sliced-execution state: frames pushed / final drain done.
+        self._began = False
+        self._finished = False
 
         # Monitoring stack.
         self.pebs: Optional[PEBSUnit] = None
@@ -171,25 +176,18 @@ class VM:
                                           telemetry=self.telemetry)
         self.pebs = PEBSUnit(
             cfg.pebs, cost_sink=self._charge_monitoring,
-            interrupt_handler=lambda batch: self.kernel.session.on_interrupt(batch),
+            interrupt_handler=self._pebs_interrupt,
             rng=random.Random(cfg.seed ^ 0x5EB5))
         interval = cfg.sampling_interval or AUTO_INITIAL_INTERVAL
         session = self.kernel.create_session(self.pebs, cfg.sampled_event,
                                              interval)
         self.memsys.arm_event(cfg.sampled_event, self.pebs.on_event)
-        def sampling_switch(enable: bool) -> None:
-            if enable:
-                self.pebs.configure(cfg.sampled_event,
-                                    self.controller.current_interval)
-            else:
-                self.pebs.stop()
-
         self.controller = OnlineOptimizationController(
             self.codecache, cfg.monitor, cfg.perfmon,
             charge=self._charge_monitoring,
             set_sampling_interval=session.set_interval,
             auto_interval=cfg.sampling_interval is None,
-            sampling_switch=sampling_switch,
+            sampling_switch=self._sampling_switch,
             telemetry=self.telemetry, lineage=self.lineage)
         self.controller.current_interval = interval
         self.userlib = UserSampleLibrary(session, cfg.perfmon,
@@ -200,6 +198,26 @@ class VM:
                                          self.scheduler, cfg.perfmon,
                                          telemetry=self.telemetry,
                                          lineage=self.lineage)
+
+    # -- picklable callbacks ---------------------------------------------------------
+    # Every callback installed into long-lived simulation state must be
+    # a bound method so the object graph survives a snapshot pickle.
+
+    def _cycle_clock(self) -> int:
+        return self.cpu.cycles
+
+    def _read_l1_misses(self) -> int:
+        return self.memsys.n_l1_miss
+
+    def _pebs_interrupt(self, batch) -> None:
+        self.kernel.session.on_interrupt(batch)
+
+    def _sampling_switch(self, enable: bool) -> None:
+        if enable:
+            self.pebs.configure(self.config.sampled_event,
+                                self.controller.current_interval)
+        else:
+            self.pebs.stop()
 
     # -- cycle buckets ---------------------------------------------------------------
 
@@ -291,10 +309,12 @@ class VM:
         return cm
 
     def static_addr(self, klass: ClassInfo, fld: FieldInfo) -> int:
-        base = self._static_bases.get(id(klass))
+        # Keyed by the ClassInfo itself (identity hash) rather than
+        # id(klass): ids are not stable across a snapshot round-trip.
+        base = self._static_bases.get(klass)
         if base is None:
             base = self._statics_cursor
-            self._static_bases[id(klass)] = base
+            self._static_bases[klass] = base
             span = max(64, 4 * len(klass.static_values))
             self._statics_cursor += (span + 63) & ~63
         return base + fld.offset
@@ -310,8 +330,23 @@ class VM:
 
     def run(self) -> RunResult:
         """Execute the program's main method to completion."""
+        self.begin()
+        self.advance()
+        return self.finish()
+
+    def begin(self) -> None:
+        """Install timers, apply the plan, and push the entry frame.
+
+        Splitting :meth:`run` into begin/advance/finish lets the
+        harness execute a program in ``until_cycles`` slices and
+        snapshot the VM between slices (see ``repro.vm.snapshot``).
+        ``run()`` is exactly ``begin(); advance(); finish()``.
+        """
+        if self._began:
+            raise RuntimeError("VM.begin() called twice")
         if self.program.main is None:
             raise ValueError(f"program {self.program.name} has no main")
+        self._began = True
 
         # Pseudo-adaptive mode: apply the pre-generated compilation plan
         # ("each program runs with a pre-generated compilation plan",
@@ -330,7 +365,35 @@ class VM:
                                  self.controller.on_period)
             self.collector.start()
 
-        exit_value = self.cpu.call_main(self.program.main)
+        self.cpu.begin_main(self.program.main)
+
+    def advance(self, until_cycles: Optional[int] = None) -> bool:
+        """Run until main returns or the cycle deadline passes.
+
+        Returns True once the program has run to completion.  The
+        deadline lands on the same scheduler-quantum boundaries the
+        interpreters already honour, so stopping here and resuming
+        later (possibly in another process, via a snapshot) is
+        bit-identical to an unbroken run.
+        """
+        if not self._began:
+            raise RuntimeError("VM.advance() before begin()")
+        self.cpu.run(until_cycles=until_cycles)
+        return not self.cpu.frames
+
+    def finish(self) -> RunResult:
+        """Drain late samples and assemble the :class:`RunResult`.
+
+        Also valid for a run truncated by an ``until_cycles`` bound
+        (frames still live): the result then reports the state at the
+        bound and ``exit_value`` is None.  Capture any resume snapshot
+        *before* calling this — the final drain mutates collector and
+        controller state.
+        """
+        if self._finished:
+            raise RuntimeError("VM.finish() called twice")
+        self._finished = True
+        exit_value = self.cpu.exit_value
 
         # Final drain so late samples are not lost to the report.
         if self.collector is not None:
