@@ -7,6 +7,9 @@ run BENCH [options]       run one benchmark, print the result summary
 timeline BENCH [options]  run one benchmark, print a text trace timeline
 audit BENCH [options]     sampling-fidelity audit vs. exact ground truth
 explain BENCH [options]   justification chain behind an online decision
+doctor BENCH [options]    run-health report: online phase segmentation +
+                          pathology detectors, evidence-linked to the
+                          decision ledger
 diff A.json B.json        structured diff of two exported run records
 bench list|run|history|compare|profile|migrate
                           host-side performance observatory (see below)
@@ -38,14 +41,17 @@ Examples::
     python -m repro audit db --json audit.json
     python -m repro explain db --fig8
     python -m repro explain db --from db.json --json lineage.json
+    python -m repro doctor phased --coalloc --storm --json DOCTOR.json
+    python -m repro doctor db --from db.json
     python -m repro diff a.json b.json
     python -m repro timeline db --coalloc
+    python -m repro timeline phased --coalloc --phases
     python -m repro fig4 --benchmarks db,pseudojbb,compress --jobs 4
     python -m repro fig6 --progress
     python -m repro run compress --until-cycles 2000000 --checkpoint-every 500000
     python -m repro run compress --until-cycles 8000000 --resume
-    python -m repro cache stats
-    python -m repro cache prune --max-bytes 50000000
+    python -m repro cache stats --json
+    python -m repro cache prune --max-bytes 50000000 --dry-run
     python -m repro bench run --all --json BENCH_report.json
     python -m repro bench compare --from BENCH_report.json
     python -m repro bench profile interp --collapsed interp.collapsed
@@ -115,14 +121,18 @@ def cmd_run(args) -> None:
                  if (args.trace or args.metrics or args.prom
                      or args.collapsed)
                  else None)
-    # Exported records carry the decision ledger (schema 3), so
-    # `repro explain --from REC.json` and `repro diff` lineage
-    # divergence work on them without re-running anything.
+    # Exported records carry the decision ledger (schema 3) and the
+    # health report (schema 5), so `repro explain --from REC.json`,
+    # `repro doctor --from REC.json`, and `repro diff` work on them
+    # without re-running anything.
     lineage = None
+    health = None
     if args.record:
+        from repro.health import HealthMonitor
         from repro.lineage import DecisionLedger
 
         lineage = DecisionLedger()
+        health = HealthMonitor()
 
     resume_from = None
     if args.resume:
@@ -146,6 +156,7 @@ def cmd_run(args) -> None:
             stored.append(snap)
 
     result = execute(spec, telemetry=telemetry, lineage=lineage,
+                     health=health,
                      fastpath=False if args.no_fastpath else None,
                      resume_from=resume_from,
                      checkpoint_every=args.checkpoint_every,
@@ -261,6 +272,10 @@ def cmd_timeline(args) -> None:
     from repro.telemetry.tracer import Tracer
 
     if args.from_trace:
+        if args.phases:
+            raise SystemExit("timeline: --phases needs a live run (it "
+                             "recomputes per-interval HPM vectors); drop "
+                             "--from")
         try:
             spans = _load_trace_spans(args.from_trace)
         except OSError:
@@ -280,10 +295,23 @@ def cmd_timeline(args) -> None:
         print(format_timeline(tracer, width=args.width))
         return
     telemetry = Telemetry()
-    result = execute(_run_spec(args), telemetry=telemetry,
+    health = None
+    if args.phases:
+        from repro.health import HealthMonitor
+
+        health = HealthMonitor()
+    result = execute(_run_spec(args), telemetry=telemetry, health=health,
                      fastpath=False if args.no_fastpath else None)
     print(format_timeline(telemetry.tracer, total_cycles=result.cycles,
                           width=args.width))
+    if health is not None:
+        from repro.health.report import format_phase_overlay, format_phase_table
+
+        health_report = health.report(result.cycles)
+        print(format_phase_overlay(health_report, result.cycles,
+                                   width=args.width))
+        print()
+        print(format_phase_table(health_report))
 
 
 def cmd_table1(args) -> None:
@@ -470,6 +498,125 @@ def cmd_explain(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_doctor(args) -> None:
+    """Run-health report: phase table, pathology findings, and — when a
+    decision ledger rides along — each finding's evidence validated and
+    justified against it.  Exits 1 only when evidence fails to resolve
+    (the verdict itself is diagnosis, not a gate)."""
+    from repro.health.report import HealthReport, format_findings, \
+        format_phase_table
+    from repro.lineage import explain
+
+    storm_info = None
+    if args.from_record:
+        from repro.analysis.diff import load_record
+
+        try:
+            record = load_record(args.from_record)
+        except OSError as exc:
+            raise SystemExit(
+                f"doctor: cannot read {args.from_record!r}: {exc}")
+        except (ValueError, KeyError, TypeError):
+            raise SystemExit(f"doctor: {args.from_record!r} is not an "
+                             "exported run record (see `repro run "
+                             "--record`)")
+        if not record.health:
+            raise SystemExit(f"doctor: {args.from_record!r} carries no "
+                             "health report (re-export it with this "
+                             "version: `repro run BENCH --record PATH`)")
+        health_report = HealthReport.from_json(record.health)
+        lineage_doc = record.lineage
+        benchmark = record.program
+    else:
+        from dataclasses import replace
+
+        from repro.harness import experiments as exps
+        from repro.harness.runner import make_vm
+        from repro.health import HealthMonitor
+        from repro.lineage import DecisionLedger
+
+        spec = _run_spec(args)
+        health = HealthMonitor()
+        ledger = DecisionLedger()
+        if args.storm:
+            if not spec.coalloc:
+                # The storm intervenes through the co-allocation policy.
+                print("doctor: --storm implies --coalloc")
+                spec = replace(spec, coalloc=True)
+            vm, workload = make_vm(
+                args.benchmark, spec, lineage=ledger, health=health,
+                fastpath=False if args.no_fastpath else None)
+            qualified = (workload.hot_fields[0] if workload.hot_fields
+                         else "String::value")
+            fld = exps.resolve_field(vm.program, qualified)
+            driver = exps.seed_revert_storm(vm, fld, count=args.storm_count)
+            result = vm.run()
+            storm_info = {"field": qualified, "begun": driver.begun,
+                          "reverted": driver.reverted()}
+            print(f"storm: {driver.begun} experiment(s) seeded on "
+                  f"{qualified}, {driver.reverted()} reverted\n")
+        else:
+            result = execute(spec, lineage=ledger, health=health,
+                             fastpath=False if args.no_fastpath else None)
+        health_report = health.report(result.cycles)
+        lineage_doc = ledger.to_json()
+        benchmark = result.program
+
+    print(f"doctor: {benchmark} — verdict {health_report.verdict.upper()} "
+          f"({len(health_report.findings)} finding(s), "
+          f"{len(health_report.phases)} phase(s), "
+          f"{health_report.intervals} interval(s))")
+    print()
+    print(format_phase_table(health_report))
+    print()
+    print(format_findings(health_report))
+
+    # Resolve every finding's evidence against the ledger and print the
+    # justification chain behind each finding's primary evidence entry.
+    problems: List[str] = []
+    chains = {}
+    if lineage_doc:
+        problems.extend(explain.validate(lineage_doc))
+        by_id = explain.index_entries(lineage_doc)
+        for i, finding in enumerate(health_report.findings):
+            resolved = []
+            for eid in finding.ledger_ids:
+                if eid in by_id:
+                    resolved.append(eid)
+                else:
+                    problems.append(f"finding[{i}] ({finding.detector}): "
+                                    f"evidence id {eid} not in ledger")
+            if resolved:
+                primary = resolved[-1]
+                chains[str(i)] = explain.chain_ids(by_id, primary)
+                print(f"\njustification chain for finding [{i}] "
+                      f"{finding.detector} (ledger #{primary}):")
+                print(explain.format_chain(lineage_doc, by_id[primary]))
+    elif health_report.findings:
+        print("\n(no decision ledger rode along: evidence ids not "
+              "validated; run without --from, or re-export the record)")
+
+    if args.json:
+        import json
+
+        out = {"benchmark": benchmark, "verdict": health_report.verdict,
+               "report": health_report.to_json(), "storm": storm_info,
+               "problems": problems, "chains": chains}
+        try:
+            with open(args.json, "w") as fh:
+                json.dump(out, fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write report to {args.json!r}: {exc}")
+        print(f"\njson report: {args.json}")
+
+    if problems:
+        print("\nevidence INVALID:")
+        for problem in problems:
+            print(f"  {problem}")
+        raise SystemExit(1)
+
+
 def cmd_diff(args) -> None:
     from repro.analysis import provenance
     from repro.analysis.diff import diff_records, format_diff, load_record
@@ -520,19 +667,31 @@ def cmd_cache(args) -> None:
         runner.clear_cache()
         print(f"removed {removed} cached result(s) from {cache.root}")
     elif args.cache_command == "prune":
-        outcome = cache.prune(max_bytes=args.max_bytes)
-        runner.clear_cache()
-        print(f"pruned {outcome['removed_stale']} stale-version and "
+        outcome = cache.prune(max_bytes=args.max_bytes,
+                              dry_run=args.dry_run)
+        if not args.dry_run:
+            runner.clear_cache()
+        verb = "would prune" if args.dry_run else "pruned"
+        tail = ("would remain" if args.dry_run else "remain")
+        print(f"{verb} {outcome['removed_stale']} stale-version and "
               f"{outcome['removed_current']} current-version entr(ies); "
-              f"{outcome['bytes'] / 1024:.1f} KiB remain in {cache.root}")
+              f"{outcome['bytes'] / 1024:.1f} KiB {tail} in {cache.root}")
     else:
         import os
 
         if not os.path.isdir(cache.root):
-            print(f"cache: no cache directory at {cache.root} "
-                  "(nothing cached yet)")
+            if args.json:
+                print("{}")
+            else:
+                print(f"cache: no cache directory at {cache.root} "
+                      "(nothing cached yet)")
             return
         stats = cache.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(stats, indent=1, sort_keys=True))
+            return
         if stats["entries"] == 0 and stats["stale_entries"] == 0:
             print(f"cache: empty at {cache.root} (nothing cached yet)")
             return
@@ -560,7 +719,9 @@ def main(argv: Optional[List[str]] = None) -> None:
     sub.add_parser("list", help="list the benchmark programs")
 
     def add_run_options(p) -> None:
-        p.add_argument("benchmark", choices=suite.all_names())
+        # Table 1 plus the adversarial probes (e.g. "phased", the
+        # health observatory's phase-shift workload).
+        p.add_argument("benchmark", choices=suite.extended_names())
         p.add_argument("--heap-mult", type=float, default=4.0,
                        help="heap as a multiple of the minimum (default 4)")
         p.add_argument("--coalloc", action="store_true",
@@ -617,6 +778,10 @@ def main(argv: Optional[List[str]] = None) -> None:
                       default=None,
                       help="render a previously exported trace (JSON or "
                            "JSONL) instead of re-running the benchmark")
+    tl_p.add_argument("--phases", action="store_true",
+                      help="overlay the online phase segmentation (a "
+                           "phase lane under the timeline plus the phase "
+                           "table)")
 
     def positive_int(value: str) -> int:
         jobs = int(value)
@@ -701,6 +866,28 @@ def main(argv: Optional[List[str]] = None) -> None:
                            help="write the ledger as a Graphviz digraph "
                                 "with the chain highlighted")
 
+    doctor_p = sub.add_parser(
+        "doctor", help="run-health report: online phase segmentation, "
+                       "pathology detectors, ledger-backed evidence")
+    add_run_options(doctor_p)
+    doctor_p.add_argument("--from", dest="from_record",
+                          metavar="RECORD.json", default=None,
+                          help="diagnose a previously exported run record "
+                               "(`repro run --record`) instead of "
+                               "re-running")
+    doctor_p.add_argument("--storm", action="store_true",
+                          help="seed a revert storm (repeated bad-placement "
+                               "experiments the feedback engine must "
+                               "revert) before diagnosing; implies "
+                               "--coalloc")
+    doctor_p.add_argument("--storm-count", type=positive_int, default=4,
+                          metavar="N",
+                          help="experiments the storm seeds (default 4)")
+    doctor_p.add_argument("--json", metavar="PATH", default=None,
+                          help="write the verdict, full health report, "
+                               "evidence problems, and justification "
+                               "chains as JSON")
+
     diff_p = sub.add_parser(
         "diff", help="structured diff of two exported run records "
                      "(exit 1 when significantly different)")
@@ -720,6 +907,11 @@ def main(argv: Optional[List[str]] = None) -> None:
                          help="prune: evict oldest current-version entries "
                               "until the cache fits in N bytes (stale code "
                               "versions are always removed)")
+    cache_p.add_argument("--dry-run", action="store_true",
+                         help="prune: report what would be removed without "
+                              "deleting anything")
+    cache_p.add_argument("--json", action="store_true",
+                         help="stats: print the raw stats document as JSON")
 
     bench_p = sub.add_parser(
         "bench", help="host-side performance observatory: run the "
@@ -854,6 +1046,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     handlers = {
         "list": cmd_list, "run": cmd_run, "timeline": cmd_timeline,
         "audit": cmd_audit, "diff": cmd_diff, "explain": cmd_explain,
+        "doctor": cmd_doctor,
         "table1": cmd_table1, "table2": cmd_table2,
         "fig2": cmd_fig2, "fig3": cmd_fig3, "fig4": cmd_fig4,
         "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,

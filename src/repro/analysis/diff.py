@@ -154,6 +154,27 @@ def diff_records(a: RunRecord, b: RunRecord,
                 for name, series in b.field_series.items()}
     d.mapping("field_series", totals_a, totals_b)
 
+    # Run health: the verdict and the per-detector finding census are
+    # categorical (a run that went from ok to critical is a different
+    # run, whatever the numbers say); the phase count is numeric but
+    # compared exactly — segmentation is deterministic, so any drift is
+    # a real behavioral difference.
+    ha, hb = a.health or {}, b.health or {}
+    if ha or hb:
+        d.categorical("health.verdict", ha.get("verdict"), hb.get("verdict"))
+        d.categorical("health.phases", len(ha.get("phases") or ()),
+                      len(hb.get("phases") or ()))
+
+        def _census(doc: dict) -> dict:
+            census: dict = {}
+            for finding in doc.get("findings") or ():
+                key = finding.get("detector", "?")
+                census[key] = census.get(key, 0) + 1
+            return census
+
+        d.mapping("health.findings", _census(ha), _census(hb),
+                  numeric=False)
+
     # Decision lineage: when both records carry a ledger, locate the
     # first decision where the two runs took different paths — the
     # forensic answer behind a diverging revert log.

@@ -429,6 +429,101 @@ register(BenchCase(
 ))
 
 
+def _health_fingerprint(result) -> dict:
+    """Every simulated surface the health observer must leave untouched:
+    the lineage fingerprint plus the feedback engine's revert log."""
+    fp = _lineage_fingerprint(result)
+    vm = result.vm
+    fp["reverted"] = ([e.name for e in
+                       vm.controller.feedback.reverted_experiments()]
+                      if vm is not None and vm.controller is not None
+                      else [])
+    return fp
+
+
+def run_health_overhead(params: Dict[str, object]) -> Dict[str, object]:
+    """Run-health observatory: pure observer + overhead ceiling.
+
+    Three properties in one case: (1) a health-on run leaves every
+    simulated surface — cycles, counters, PEBS samples, the revert
+    log — bit-identical to a health-off run; (2) health riding next to
+    a decision ledger does not perturb a single ledger entry (the
+    evidence ids findings cite are exactly the ids the ledger would
+    have assigned anyway); (3) the wall-time overhead of the interval
+    tap + segmentation + detectors stays under ``max_ratio``.
+    """
+    from repro.harness import runner
+    from repro.harness.runner import RunSpec
+    from repro.health import HealthMonitor
+    from repro.lineage import DecisionLedger
+
+    runner.set_disk_cache(None)
+    runner.clear_cache()
+    spec = RunSpec(benchmark=str(params["benchmark"]), coalloc=True)
+    repeats = int(params["repeats"])
+
+    off_times, on_times = [], []
+    off_fp = on_fp = None
+    report_doc = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        r_off = runner.execute(spec)
+        off_times.append(time.perf_counter() - start)
+        health = HealthMonitor()
+        start = time.perf_counter()
+        r_on = runner.execute(spec, health=health)
+        on_times.append(time.perf_counter() - start)
+        off_fp = _health_fingerprint(r_off)
+        on_fp = _health_fingerprint(r_on)
+        report_doc = health.report(r_on.cycles).to_json()
+
+    # Ledger-id identity: the same ledger entries, byte for byte,
+    # whether or not health observed the run alongside it.
+    ledger_solo, ledger_obs = DecisionLedger(), DecisionLedger()
+    runner.execute(spec, lineage=ledger_solo)
+    runner.execute(spec, lineage=ledger_obs, health=HealthMonitor())
+
+    best_off, best_on = min(off_times), min(on_times)
+    ratio = best_on / best_off if best_off else float("inf")
+    return {
+        "benchmark": params["benchmark"],
+        "repeats": repeats,
+        "wall_off_s": round(best_off, 3),
+        "wall_on_s": round(best_on, 3),
+        "overhead_ratio": round(ratio, 4),
+        "max_ratio": params["max_ratio"],
+        "verdict": report_doc["verdict"],
+        "phases": len(report_doc["phases"]),
+        "intervals": report_doc["intervals"],
+        "findings": len(report_doc["findings"]),
+        "bit_identical": off_fp == on_fp,
+        "ledger_identical": ledger_solo.to_json() == ledger_obs.to_json(),
+    }
+
+
+register(BenchCase(
+    name="health_overhead",
+    description="run-health observatory: pure observer (bit-identical "
+                "simulated state, untouched ledger ids) within its "
+                "overhead ceiling",
+    run=run_health_overhead,
+    params={"benchmark": "db", "repeats": 3, "max_ratio": 1.10},
+    gates=(
+        Gate("bit_identical", "==", True,
+             "health-on run bit-identical to health-off run "
+             "(cycles/counters/samples/revert log)"),
+        Gate("ledger_identical", "==", True,
+             "ledger entries unchanged when health rides along"),
+        Gate("phases", ">=", 1, "segmentation produced at least one phase"),
+        Gate("overhead_ratio", "<=", "max_ratio",
+             "health-on / health-off wall-time ceiling"),
+    ),
+    primary_metric="overhead_ratio",
+    primary_direction="lower",
+    compare_threshold=0.15,
+))
+
+
 def run_suite(params: Dict[str, object]) -> Dict[str, object]:
     """End-to-end smoke over a figure-spec slice, cold, serial."""
     from repro.harness import engine, runner

@@ -333,6 +333,11 @@ class SystemConfig:
     #: ledger is a pure observer, so attaching one leaves every
     #: simulated number bit-identical.
     lineage: "object | None" = None
+    #: Optional :class:`repro.health.HealthMonitor`.  ``None`` (the
+    #: default) selects the shared null monitor; the third pure
+    #: observer — phase segmentation and pathology detection read the
+    #: interval stream without perturbing a single simulated number.
+    health: "object | None" = None
 
     def copy(self, **overrides) -> "SystemConfig":
         """Return a shallow copy with ``overrides`` applied."""

@@ -44,15 +44,20 @@ class OnlineOptimizationController:
                  set_sampling_interval: Optional[Callable[[int], None]] = None,
                  auto_interval: bool = False,
                  sampling_switch: Optional[Callable[[bool], None]] = None,
-                 telemetry=None, lineage=None):
+                 telemetry=None, lineage=None, health=None,
+                 interval_tap: Optional[Callable] = None):
         self.monitor_config = monitor_config
         self.resolver = SampleResolver(codecache)
         self.monitor = OnlineMonitor(monitor_config)
         self.telemetry = telemetry or NULL_TELEMETRY
         self.lineage = lineage if lineage is not None else NULL_LEDGER
+        #: Health observer hook: called with each closed period's
+        #: observation vector (see repro.perfmon.tap).  Pure read-only.
+        self._interval_tap = interval_tap
         self.feedback = FeedbackEngine(self.monitor, monitor_config,
                                        telemetry=self.telemetry,
-                                       lineage=self.lineage)
+                                       lineage=self.lineage,
+                                       health=health)
         self.perfmon_config = perfmon_config
         self._trace = self.telemetry.tracer
         metrics = self.telemetry.metrics
@@ -170,6 +175,10 @@ class OnlineOptimizationController:
             self.lineage.ranking_snapshot(
                 period.index, self._ranking_for_lineage())
         self.feedback.on_period()
+        if self._interval_tap is not None:
+            self._interval_tap(period, now_cycle,
+                               self._samples_this_period,
+                               self._attributed_this_period)
         if self.auto_interval and self._set_interval is not None \
                 and not self.sampling_paused:
             self._adapt_interval()

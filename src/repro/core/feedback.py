@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 from repro.core.config import MonitorConfig
 from repro.core.monitor import OnlineMonitor
+from repro.health import NULL_HEALTH
 from repro.lineage import NULL_LEDGER
 from repro.telemetry import NULL_TELEMETRY
 from repro.vm.model import ClassInfo, FieldInfo
@@ -54,11 +55,12 @@ class FeedbackEngine:
     """Judges policy experiments against monitored miss rates."""
 
     def __init__(self, monitor: OnlineMonitor, config: MonitorConfig,
-                 telemetry=None, lineage=None):
+                 telemetry=None, lineage=None, health=None):
         self.monitor = monitor
         self.config = config
         self.experiments: List[Experiment] = []
         self.lineage = lineage if lineage is not None else NULL_LEDGER
+        self.health = health if health is not None else NULL_HEALTH
         tele = telemetry or NULL_TELEMETRY
         self._trace = tele.tracer
         metrics = tele.metrics
@@ -82,10 +84,12 @@ class FeedbackEngine:
                          baseline_rate=baseline,
                          started_period=len(self.monitor.periods))
         self.experiments.append(exp)
-        self.lineage.experiment_begin(
+        eid = self.lineage.experiment_begin(
             name, field, baseline, exp.started_period,
             self.monitor.sample_counts.get(field, 0),
             self.config.revert_threshold, self.config.revert_patience)
+        self.health.on_experiment_begin(name, field.qualified_name,
+                                        baseline, exp.started_period, eid)
         self._m_started.labels(name).inc()
         self._trace.instant("feedback.experiment_begin", cat="feedback",
                             experiment=name, field=field.qualified_name,
@@ -110,9 +114,12 @@ class FeedbackEngine:
                 exp.regressed_periods += 1
             else:
                 exp.regressed_periods = 0
-            self.lineage.experiment_verdict(exp.name, rate, threshold,
-                                            regressed,
-                                            exp.regressed_periods)
+            eid = self.lineage.experiment_verdict(exp.name, rate, threshold,
+                                                  regressed,
+                                                  exp.regressed_periods)
+            self.health.on_experiment_verdict(exp.name, rate, threshold,
+                                              regressed,
+                                              exp.regressed_periods, eid)
             self._trace.instant("feedback.verdict", cat="feedback",
                                 experiment=exp.name, rate=rate,
                                 regressed=regressed,
@@ -122,9 +129,12 @@ class FeedbackEngine:
                 exp.active = False
                 exp.reverted = True
                 exp.reverted_period = current_period
-                self.lineage.experiment_revert(
+                eid = self.lineage.experiment_revert(
                     exp.name, exp.field, current_period, rate,
                     exp.baseline_rate, cfg.revert_threshold)
+                self.health.on_experiment_revert(
+                    exp.name, exp.field.qualified_name, current_period,
+                    rate, exp.baseline_rate, eid)
                 self._m_reverts.labels(exp.name).inc()
                 self._trace.instant("feedback.revert", cat="feedback",
                                     experiment=exp.name,

@@ -280,7 +280,8 @@ class DiskCache:
             "session_snapshot_misses": self.snapshot_misses,
         }
 
-    def prune(self, max_bytes: Optional[int] = None) -> dict:
+    def prune(self, max_bytes: Optional[int] = None,
+              dry_run: bool = False) -> dict:
         """Evict stale code versions, then trim to a byte budget.
 
         Every entry under a non-current version directory is removed
@@ -289,12 +290,20 @@ class DiskCache:
         still exceed it, current-version entries are evicted oldest-
         mtime-first — snapshots and records alike, since both are pure
         functions of (spec, code) and regenerate on demand.
+
+        ``dry_run`` computes the same plan — identical counts and
+        surviving byte total — without deleting anything; the planned
+        removals are listed under ``"would_remove"``.
         """
         removed_stale = removed_current = 0
+        would_remove = []
         survivors = []
         for path, _kind, is_current, size, mtime in self._walk_entries():
             if is_current:
                 survivors.append((mtime, size, path))
+            elif dry_run:
+                would_remove.append(path)
+                removed_stale += 1
             else:
                 try:
                     os.remove(path)
@@ -302,7 +311,7 @@ class DiskCache:
                 except OSError:
                     pass
         # Sweep now-empty stale version directories.
-        if os.path.isdir(self.root):
+        if not dry_run and os.path.isdir(self.root):
             for name in os.listdir(self.root):
                 path = os.path.join(self.root, name)
                 if os.path.isdir(path) and name != self.version \
@@ -314,14 +323,20 @@ class DiskCache:
             for mtime, size, path in survivors:
                 if remaining <= max_bytes:
                     break
-                try:
-                    os.remove(path)
-                except OSError:
-                    continue
+                if dry_run:
+                    would_remove.append(path)
+                else:
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        continue
                 removed_current += 1
                 remaining -= size
-        return {
+        outcome = {
             "removed_stale": removed_stale,
             "removed_current": removed_current,
             "bytes": remaining,
         }
+        if dry_run:
+            outcome["would_remove"] = would_remove
+        return outcome

@@ -37,6 +37,7 @@ to) the simulated-determinism guarantees.
 from __future__ import annotations
 
 import json
+import math
 import os
 import sys
 import time
@@ -58,6 +59,25 @@ from repro.harness.runner import RunSpec
 # ---------------------------------------------------------------------------
 # Fleet progress
 # ---------------------------------------------------------------------------
+
+def estimate_eta(elapsed: float, completed: int, total: int) -> Optional[float]:
+    """Remaining wall time from the mean pace so far, or None.
+
+    Guarded against every degenerate batch: nothing completed yet (all
+    cache hits, or a clock that has not advanced past the first job),
+    zero/negative elapsed time, and non-finite intermediates — an ETA is
+    either a finite non-negative float or absent, never ``inf``/``nan``
+    in a progress line or a JSONL event log.
+    """
+    if completed <= 0 or total <= completed:
+        return None if total != completed else 0.0
+    if not math.isfinite(elapsed) or elapsed < 0:
+        return None
+    eta = elapsed / completed * (total - completed)
+    if not math.isfinite(eta):
+        return None
+    return max(0.0, eta)
+
 
 @dataclass
 class JobEvent:
@@ -83,9 +103,9 @@ class JobEvent:
                "benchmark": self.benchmark, "spec": self.spec_key,
                "index": self.index, "total": self.total,
                "completed": self.completed}
-        if self.wall_s is not None:
+        if self.wall_s is not None and math.isfinite(self.wall_s):
             doc["wall_s"] = round(self.wall_s, 4)
-        if self.eta_s is not None:
+        if self.eta_s is not None and math.isfinite(self.eta_s):
             doc["eta_s"] = round(self.eta_s, 1)
         return doc
 
@@ -113,7 +133,8 @@ class StderrProgress:
             parts.append(f" {event.completed}/{event.total}")
             if event.wall_s is not None:
                 parts.append(f" in {event.wall_s:.1f}s")
-            if event.eta_s is not None and event.completed < event.total:
+            if event.eta_s is not None and math.isfinite(event.eta_s) \
+                    and event.completed < event.total:
                 parts.append(f", eta {event.eta_s:.0f}s")
         print("".join(parts), file=self.stream, flush=True)
 
@@ -252,7 +273,7 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
             completed += 1
             if progress is not None:
                 elapsed = time.monotonic() - started
-                eta = elapsed / completed * (total - completed)
+                eta = estimate_eta(elapsed, completed, total)
                 progress.emit(JobEvent(
                     "finished", missing[i].benchmark, keys[i], index=i,
                     total=total, completed=completed, wall_s=wall_s,
@@ -401,7 +422,7 @@ def run_specs_sharded(specs: Iterable[RunSpec], leg_cycles: int,
             completed += 1
             if progress is not None:
                 elapsed = time.monotonic() - started
-                eta = elapsed / completed * (total - completed)
+                eta = estimate_eta(elapsed, completed, total)
                 progress.emit(JobEvent("finished", missing[i].benchmark,
                                        keys[i], index=i, total=total,
                                        completed=completed, eta_s=eta))

@@ -467,3 +467,99 @@ def fig8_revert(benchmark: str = "db",
         peak_rate=max(after) if after else 0.0,
         final_rate=moving[-1] if moving else 0.0,
     )
+
+
+# ---------------------------------------------------------------------------
+# Revert-storm seeding (repro doctor --storm)
+# ---------------------------------------------------------------------------
+
+class StormDriver:
+    """Repeatedly applies a known-bad placement gap so the feedback
+    engine reverts it, again and again — a seeded *revert storm* for the
+    health detectors to flag (``repro doctor --storm``).
+
+    Driven once per measurement period (scheduled just after the
+    controller's period close, so the monitor state it reads is fresh):
+    whenever no experiment is active, the previous one has been reverted,
+    and the judged field is currently hot (a zero baseline can never
+    regress, see :meth:`FeedbackEngine.on_period`), it re-applies the
+    gap and opens the next experiment.  A class with bound-method
+    callbacks, not closures, so the scheduler heap stays picklable.
+    """
+
+    def __init__(self, vm, field, count: int = 3, gap: int = 128,
+                 cooldown_periods: int = 2, recover_factor: float = 1.5):
+        self.vm = vm
+        self.field = field
+        self.gap = gap
+        self.remaining = count
+        self.cooldown_periods = cooldown_periods
+        #: Re-arm only once the rate has fallen back to within this
+        #: factor of the first experiment's baseline: after a revert the
+        #: rate recovers *gradually* (mature objects keep their bad
+        #: placement, Figure 8), and an experiment begun against that
+        #: still-elevated baseline can never regress 25% further.
+        self.recover_factor = recover_factor
+        self._baseline0: Optional[float] = None
+        self._cooldown = 0
+        self.begun = 0
+
+    def on_period(self, now: int) -> None:
+        if self.remaining <= 0:
+            return
+        feedback = self.vm.controller.feedback
+        if feedback.active_experiments():
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        rate = self.vm.controller.monitor.recent_rate(self.field)
+        if rate <= 0:
+            return
+        if self._baseline0 is not None \
+                and rate > self._baseline0 * self.recover_factor:
+            return
+        self.vm.coalloc_policy.set_gap(self.gap)
+        self.begun += 1
+        self.remaining -= 1
+        self._cooldown = self.cooldown_periods
+        exp = feedback.begin_experiment(f"storm-{self.begun}", self.field,
+                                        revert=self._revert)
+        if self._baseline0 is None:
+            self._baseline0 = exp.baseline_rate
+
+    def _revert(self) -> None:
+        self.vm.coalloc_policy.set_gap(0)
+
+    def reverted(self) -> int:
+        feedback = self.vm.controller.feedback
+        return sum(1 for e in feedback.reverted_experiments()
+                   if e.name.startswith("storm-"))
+
+
+def resolve_field(program: Program, qualified: str):
+    """``"Class::field"`` -> the live :class:`FieldInfo` of ``program``."""
+    class_name, field_name = qualified.split("::")
+    return program.klass(class_name).field(field_name)
+
+
+def seed_revert_storm(vm, field, count: int = 3, gap: int = 128,
+                      cooldown_periods: int = 2) -> StormDriver:
+    """Attach a :class:`StormDriver` to a co-allocating, monitored VM.
+
+    Call before ``vm.run()``; the driver paces itself off the
+    measurement period.  Returns the driver so callers can report how
+    many experiments were begun/reverted.
+    """
+    if vm.coalloc_policy is None:
+        raise ValueError("seed_revert_storm needs a co-allocating VM "
+                         "(RunSpec coalloc=True)")
+    if vm.controller is None:
+        raise ValueError("seed_revert_storm needs a monitored VM "
+                         "(RunSpec monitoring=True)")
+    driver = StormDriver(vm, field, count=count, gap=gap,
+                         cooldown_periods=cooldown_periods)
+    # Offset by one cycle so each firing sorts after the controller's
+    # period close on the scheduler heap.
+    vm.scheduler.every(1, vm.config.monitor.period_cycles, driver.on_period)
+    return driver

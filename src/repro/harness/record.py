@@ -24,16 +24,20 @@ from repro.core.monitor import moving_average
 from repro.gc.stats import GCStats
 
 #: Bump when the record layout changes; part of the disk-cache key.
-#: Version 3 added the optional ``lineage`` document (the serialized
-#: decision ledger); version 4 added ``exit_value`` (the guest main's
-#: return value — None for runs truncated by ``until_cycles``), which
-#: the snapshot bit-identity gates compare.  Older records load fine —
-#: they simply carry the field defaults — so caches survive the bumps.
-SCHEMA_VERSION = 4
+#: Version 2 added ``provenance``; version 3 added the optional
+#: ``lineage`` document (the serialized decision ledger); version 4
+#: added ``exit_value`` (the guest main's return value — None for runs
+#: truncated by ``until_cycles``), which the snapshot bit-identity
+#: gates compare; version 5 added the optional ``health`` document (the
+#: serialized :class:`repro.health.HealthReport`).  Older records load
+#: fine — they simply carry the field defaults — so caches survive the
+#: bumps.
+SCHEMA_VERSION = 5
 
-#: Schemas :meth:`RunRecord.from_json` accepts.  Older versions listed
-#: here differ only by fields that have safe defaults.
-COMPATIBLE_SCHEMAS = (2, 3, 4)
+#: Schemas :meth:`RunRecord.from_json` accepts.  Every historical
+#: version is listed: each bump since 1 only *added* fields with safe
+#: defaults, so legacy documents construct correctly via ``doc.get``.
+COMPATIBLE_SCHEMAS = (1, 2, 3, 4, 5)
 
 
 @dataclass
@@ -70,6 +74,10 @@ class RunRecord:
     #: ``{"schema", "entries", "dropped"}``.  None when the run carried
     #: no ledger (the default) and for legacy schema-2 records.
     lineage: Optional[dict] = None
+    #: Serialized health report (:meth:`repro.health.HealthReport.to_json`):
+    #: ``{"schema", "verdict", "phases", "findings", ...}``.  None when
+    #: the run carried no health monitor and for pre-schema-5 records.
+    health: Optional[dict] = None
 
     # -- RunResult-compatible read surface -----------------------------------
 
@@ -115,8 +123,11 @@ class RunRecord:
         window = 3
         map_sizes = (0, 0, 0)
         lineage = None
+        health = None
         if vm is not None and vm.lineage.enabled:
             lineage = vm.lineage.to_json()
+        if vm is not None and vm.health.enabled:
+            health = vm.health.report(result.cycles).to_json()
         if vm is not None:
             from repro.jit.maps import corpus_map_sizes
 
@@ -151,6 +162,7 @@ class RunRecord:
             moving_average_window=window,
             exit_value=result.exit_value,
             lineage=lineage,
+            health=health,
         )
 
     # -- JSON round trip -----------------------------------------------------
@@ -175,6 +187,7 @@ class RunRecord:
             "exit_value": self.exit_value,
             "provenance": self.provenance,
             "lineage": self.lineage,
+            "health": self.health,
         }
 
     @classmethod
@@ -202,4 +215,5 @@ class RunRecord:
             exit_value=doc.get("exit_value"),
             provenance=doc.get("provenance"),
             lineage=doc.get("lineage"),
+            health=doc.get("health"),
         )

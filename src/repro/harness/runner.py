@@ -141,17 +141,19 @@ def set_disk_cache(cache: Optional[diskcache.DiskCache]) -> None:
 
 
 def execute(spec: RunSpec, telemetry=None, fastpath=None,
-            lineage=None, resume_from: Optional[Snapshot] = None,
+            lineage=None, health=None,
+            resume_from: Optional[Snapshot] = None,
             checkpoint_every: Optional[int] = None,
             on_checkpoint=None) -> RunResult:
     """Run one spec once (no caching).
 
-    ``telemetry``, ``lineage``, and ``fastpath`` ride on the
-    :class:`SystemConfig`, never on the frozen spec, so they cannot
+    ``telemetry``, ``lineage``, ``health``, and ``fastpath`` ride on
+    the :class:`SystemConfig`, never on the frozen spec, so they cannot
     pollute the memoization key used by :func:`measure` (nor the
-    disk-cache key): telemetry and the lineage ledger are pure
-    observers, and the interpreters are bit-identical, so a record
-    computed under any knob setting is valid for all of them.
+    disk-cache key): telemetry, the lineage ledger, and the health
+    monitor are pure observers, and the interpreters are bit-identical,
+    so a record computed under any knob setting is valid for all of
+    them.
 
     ``resume_from`` continues a captured :class:`Snapshot` instead of
     simulating from cycle 0 — bit-identical to the unbroken run.  A
@@ -174,6 +176,8 @@ def execute(spec: RunSpec, telemetry=None, fastpath=None,
             config.telemetry = telemetry
         if lineage is not None:
             config.lineage = lineage
+        if health is not None:
+            config.health = health
         if fastpath is not None:
             config.fastpath = fastpath
         vm = VM(workload.program, config, compilation_plan=workload.plan)
@@ -403,7 +407,7 @@ def clear_cache(disk: bool = False) -> None:
 
 def make_vm(benchmark: str, spec: Optional[RunSpec] = None,
             telemetry=None, fastpath=None,
-            lineage=None) -> Tuple[VM, object]:
+            lineage=None, health=None) -> Tuple[VM, object]:
     """Build a VM without running it (for experiments that intervene
     mid-run, like Figure 8's manual gap insertion).
 
@@ -416,6 +420,8 @@ def make_vm(benchmark: str, spec: Optional[RunSpec] = None,
         config.telemetry = telemetry
     if lineage is not None:
         config.lineage = lineage
+    if health is not None:
+        config.health = health
     if fastpath is not None:
         config.fastpath = fastpath
     vm = VM(workload.program, config, compilation_plan=workload.plan)

@@ -1,0 +1,216 @@
+"""Run-health observatory: the third pure observer.
+
+:class:`HealthMonitor` rides on :class:`repro.core.config.SystemConfig`
+exactly like telemetry and the lineage ledger: attach one to
+``config.health`` and the VM feeds it the per-period interval stream
+(via the perfmon interval tap) and the feedback engine's experiment
+events.  It never charges cycles, never consumes randomness, and never
+mutates simulator state — runs with health on and off are bit-identical
+in cycles, instructions, counters, PEBS samples, the revert log, and
+lineage entry ids (enforced by tests and the ``health_overhead`` bench
+gate).
+
+At end of run :meth:`HealthMonitor.report` produces the aggregated
+:class:`repro.health.report.HealthReport` — online phase segmentation
+plus pathology findings — which ``RunRecord`` embeds (schema 5),
+``repro doctor`` prints, and the metrics registry exports as Prometheus
+gauges.
+
+Like ``NULL_TELEMETRY`` / ``NULL_LEDGER``, the shared
+:data:`NULL_HEALTH` instance makes every hook a no-op when health is
+not requested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.health.detectors import (
+    DETECTOR_REGISTRY,
+    Detector,
+    ExperimentEvent,
+    default_detectors,
+)
+from repro.health.phases import Interval, PhaseTracker
+from repro.health.report import (
+    HEALTH_SCHEMA_VERSION,
+    Finding,
+    HealthReport,
+    PhaseRecord,
+    SEVERITY_RANK,
+    build_report,
+)
+
+__all__ = [
+    "HEALTH_SCHEMA_VERSION",
+    "DETECTOR_REGISTRY",
+    "Detector",
+    "ExperimentEvent",
+    "Finding",
+    "HealthMonitor",
+    "HealthReport",
+    "Interval",
+    "NULL_HEALTH",
+    "NullHealthMonitor",
+    "PhaseRecord",
+    "PhaseTracker",
+    "default_detectors",
+]
+
+
+def _zero_clock() -> int:
+    """Default clock before a VM binds its cycle counter (picklable)."""
+    return 0
+
+
+class HealthMonitor:
+    """Collects intervals + experiment events; segments and diagnoses."""
+
+    enabled = True
+
+    def __init__(self, tracker: Optional[PhaseTracker] = None,
+                 detectors: Optional[List[Detector]] = None):
+        self.tracker = tracker or PhaseTracker()
+        self.detectors = (detectors if detectors is not None
+                          else default_detectors())
+        self.intervals: List[Interval] = []
+        self._clock: Callable[[], int] = _zero_clock
+        self._telemetry = None
+        self._report: Optional[HealthReport] = None
+
+    # -- VM wiring ---------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """The VM stamps experiment events with its cycle counter."""
+        self._clock = clock
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Phase boundaries are mirrored as spans when tracing is on."""
+        self._telemetry = telemetry
+
+    # -- interval stream ---------------------------------------------------
+
+    def on_interval(self, interval: Interval) -> None:
+        self.intervals.append(interval)
+        for detector in self.detectors:
+            detector.on_interval(interval)
+        closed = self.tracker.observe(interval)
+        if closed is not None:
+            self._emit_phase(closed)
+
+    # -- feedback events ---------------------------------------------------
+
+    def on_experiment_begin(self, name: str, field: str, baseline: float,
+                            started_period: int, ledger_id: int) -> None:
+        self._fan_out(ExperimentEvent(
+            kind="begin", name=name, cycle=self._clock(),
+            ledger_id=ledger_id, field=field, baseline=baseline,
+            period=started_period))
+
+    def on_experiment_verdict(self, name: str, rate: float, threshold: float,
+                              regressed: bool, streak: int,
+                              ledger_id: int) -> None:
+        self._fan_out(ExperimentEvent(
+            kind="verdict", name=name, cycle=self._clock(),
+            ledger_id=ledger_id, rate=rate, threshold=threshold,
+            regressed=regressed, streak=streak))
+
+    def on_experiment_revert(self, name: str, field: str, period: int,
+                             rate: float, baseline: float,
+                             ledger_id: int) -> None:
+        self._fan_out(ExperimentEvent(
+            kind="revert", name=name, cycle=self._clock(),
+            ledger_id=ledger_id, field=field, period=period, rate=rate,
+            baseline=baseline))
+
+    def _fan_out(self, event: ExperimentEvent) -> None:
+        for detector in self.detectors:
+            detector.on_event(event)
+
+    # -- phase telemetry ---------------------------------------------------
+
+    def _emit_phase(self, phase: PhaseRecord) -> None:
+        if self._telemetry is None or not self._telemetry.enabled:
+            return
+        tracer = self._telemetry.tracer
+        tracer.complete("health.phase", cat="health",
+                        ts=phase.start_cycle,
+                        dur=max(0, phase.end_cycle - phase.start_cycle),
+                        phase=phase.index, intervals=phase.intervals)
+        tracer.instant("health.phase_change", cat="health",
+                       phase=phase.index + 1,
+                       after_period=phase.end_period)
+
+    # -- report ------------------------------------------------------------
+
+    def report(self, total_cycles: Optional[int] = None) -> HealthReport:
+        """Finalize (idempotent) and return the aggregated report."""
+        if self._report is not None:
+            return self._report
+        open_phases = len(self.tracker.phases)
+        phases = self.tracker.finish()
+        for phase in phases[open_phases:]:
+            self._emit_phase(phase)
+        if total_cycles is None:
+            total_cycles = (self.intervals[-1].end_cycle
+                            if self.intervals else self._clock())
+        findings: List[Finding] = []
+        for detector in self.detectors:
+            findings.extend(detector.finalize(self.intervals, total_cycles))
+        findings.sort(key=lambda f: (-SEVERITY_RANK.get(f.severity, 0),
+                                     f.start_cycle, f.detector))
+        self._report = build_report(phases, findings, len(self.intervals),
+                                    total_cycles)
+        return self._report
+
+    def publish_metrics(self, metrics) -> None:
+        """Export the report as Prometheus gauges (no-op when metrics off)."""
+        if not metrics.enabled:
+            return
+        report = self.report()
+        metrics.gauge(
+            "health.verdict",
+            "aggregate run-health verdict (0 ok / 1 warn / 2 critical)",
+        ).set(SEVERITY_RANK.get(report.verdict, 0))
+        metrics.gauge("health.phases",
+                      "phases segmented from the interval stream",
+                      ).set(len(report.phases))
+        metrics.gauge("health.intervals",
+                      "measurement intervals observed").set(report.intervals)
+        findings = metrics.gauge("health.findings",
+                                 "pathology findings, by detector")
+        for name in DETECTOR_REGISTRY:
+            findings.labels(name).set(0)
+        for name, count in report.findings_by_detector().items():
+            findings.labels(name).set(count)
+
+
+class NullHealthMonitor(HealthMonitor):
+    """Health monitor that observes nothing; every hook is a no-op."""
+
+    enabled = False
+
+    def on_interval(self, interval: Interval) -> None:
+        pass
+
+    def on_experiment_begin(self, *args, **kwargs) -> None:
+        pass
+
+    def on_experiment_verdict(self, *args, **kwargs) -> None:
+        pass
+
+    def on_experiment_revert(self, *args, **kwargs) -> None:
+        pass
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        pass
+
+    def bind_telemetry(self, telemetry) -> None:
+        pass
+
+    def publish_metrics(self, metrics) -> None:
+        pass
+
+
+#: Shared no-op instance (the default when ``config.health`` is unset).
+NULL_HEALTH = NullHealthMonitor()

@@ -132,6 +132,22 @@ class Tracer:
         self.begin(name, cat, **args)
         return _SpanContext(self)
 
+    def complete(self, name: str, cat: str, ts: int, dur: int,
+                 **args) -> Optional[SpanEvent]:
+        """Record an already-finished span with explicit timestamps.
+
+        For observers that learn a span's extent only after the fact
+        (e.g. a health phase is bounded once the *next* phase begins):
+        ``begin``/``end`` would interleave wrongly with the live span
+        stack, so the event is appended directly at depth 0.
+        """
+        event = SpanEvent(name, cat, ts, dur, 0, args or None)
+        if len(self.spans) < self.max_events:
+            self.spans.append(event)
+        else:
+            self.dropped_events += 1
+        return event
+
     # -- point events ------------------------------------------------------
 
     def instant(self, name: str, cat: str = "vm", **args) -> None:
@@ -203,6 +219,10 @@ class NullTracer(Tracer):
 
     def span(self, name: str, cat: str = "vm", **args) -> _NullSpanContext:
         return _NULL_SPAN
+
+    def complete(self, name: str, cat: str, ts: int, dur: int,
+                 **args) -> Optional[SpanEvent]:
+        return None
 
     def instant(self, name: str, cat: str = "vm", **args) -> None:
         pass

@@ -80,7 +80,7 @@ class Snapshot:
         #: Guest program name, for cache bookkeeping and error messages.
         self.program = program
         #: True when the captured VM carries no live observers (null
-        #: telemetry and null ledger).  Only pure snapshots may serve
+        #: telemetry, null ledger, null health).  Only pure snapshots may serve
         #: the record cache: a resumed run continues the snapshot's
         #: observers, and cached records must stay pure functions of
         #: the spec — identical whether simulated fresh or resumed.
@@ -99,7 +99,8 @@ class Snapshot:
         """
         with _deep_recursion():
             raw = pickle.dumps(vm, protocol=pickle.HIGHEST_PROTOCOL)
-        pure = not (vm.telemetry.enabled or vm.lineage.enabled)
+        pure = not (vm.telemetry.enabled or vm.lineage.enabled
+                    or vm.health.enabled)
         return cls(zlib.compress(raw), vm.cpu.cycles, vm.program.name,
                    pure=pure)
 

@@ -45,6 +45,7 @@ from repro.jit.aos import AdaptiveOptimizationSystem, CompilationPlan
 from repro.jit.baseline import compile_baseline
 from repro.jit.codecache import CodeCache, CompiledMethod
 from repro.jit.opt import compile_opt
+from repro.health import NULL_HEALTH
 from repro.lineage import NULL_LEDGER
 from repro.perfmon.collector import CollectorThread
 from repro.perfmon.kernel import PerfmonKernelModule
@@ -107,6 +108,10 @@ class VM:
         # Explicit None check: an empty ledger is falsy (len() == 0).
         self.lineage = (self.config.lineage
                         if self.config.lineage is not None else NULL_LEDGER)
+        #: Run health: the third pure observer — phase segmentation and
+        #: pathology detection over the per-period interval stream.
+        self.health = (self.config.health
+                       if self.config.health is not None else NULL_HEALTH)
 
         # Hardware.
         self.counters = EventCounters()
@@ -142,6 +147,8 @@ class VM:
         # a snapshot pickle (repro.vm.snapshot), which closures cannot.
         self.telemetry.bind_clock(self._cycle_clock)
         self.lineage.bind_clock(self._cycle_clock)
+        self.health.bind_clock(self._cycle_clock)
+        self.health.bind_telemetry(self.telemetry)
         self.method_profiler = None
         if self.config.method_profiling:
             from repro.core.counting import MethodProfiler
@@ -165,6 +172,7 @@ class VM:
         self.userlib: Optional[UserSampleLibrary] = None
         self.collector: Optional[CollectorThread] = None
         self.controller: Optional[OnlineOptimizationController] = None
+        self.interval_tap = None
         if self.config.monitoring:
             self._init_monitoring()
 
@@ -182,13 +190,21 @@ class VM:
         session = self.kernel.create_session(self.pebs, cfg.sampled_event,
                                              interval)
         self.memsys.arm_event(cfg.sampled_event, self.pebs.on_event)
+        self.interval_tap = None
+        if self.health.enabled:
+            from repro.perfmon.tap import IntervalTap
+
+            self.interval_tap = IntervalTap(self)
         self.controller = OnlineOptimizationController(
             self.codecache, cfg.monitor, cfg.perfmon,
             charge=self._charge_monitoring,
             set_sampling_interval=session.set_interval,
             auto_interval=cfg.sampling_interval is None,
             sampling_switch=self._sampling_switch,
-            telemetry=self.telemetry, lineage=self.lineage)
+            telemetry=self.telemetry, lineage=self.lineage,
+            health=self.health,
+            interval_tap=(self.interval_tap.on_period
+                          if self.interval_tap is not None else None))
         self.controller.current_interval = interval
         self.userlib = UserSampleLibrary(session, cfg.perfmon,
                                          charge=self._charge_monitoring,
@@ -446,6 +462,8 @@ class VM:
             counters.labels(event).set(count)
         if self.controller is not None:
             self.controller.publish_metrics()
+        if self.health.enabled:
+            self.health.publish_metrics(metrics)
 
 
 def run_program(program: Program, config: Optional[SystemConfig] = None,

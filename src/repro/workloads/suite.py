@@ -44,14 +44,31 @@ def all_names() -> List[str]:
     return list(BENCHMARKS)
 
 
+def extended_names() -> List[str]:
+    """Table 1 plus the adversarial probes (CLI choices for tools that
+    accept any buildable program, like ``repro doctor``)."""
+    from repro.workloads.adversarial import ADVERSARIAL
+
+    return list(BENCHMARKS) + [n for n in ADVERSARIAL
+                               if n not in BENCHMARKS]
+
+
 def build(name: str) -> Workload:
-    """Build one benchmark program (a fresh Program every call)."""
-    try:
-        builder = BENCHMARKS[name]
-    except KeyError:
+    """Build one benchmark program (a fresh Program every call).
+
+    Names outside Table 1 fall back to the adversarial registry
+    (:mod:`repro.workloads.adversarial`) — probe programs for the
+    observability layers that must not inflate the paper's suite.
+    """
+    builder = BENCHMARKS.get(name)
+    if builder is None:
+        from repro.workloads.adversarial import ADVERSARIAL
+
+        builder = ADVERSARIAL.get(name)
+    if builder is None:
         raise KeyError(
             f"unknown benchmark {name!r}; known: {', '.join(BENCHMARKS)}"
-        ) from None
+        )
     return builder()
 
 

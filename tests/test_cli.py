@@ -163,6 +163,56 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "nothing cached yet" in out
 
+    def test_cache_stats_json_without_cache_dir(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "absent"))
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        main(["cache", "stats", "--json"])
+        assert capsys.readouterr().out.strip() == "{}"
+
+    @pytest.fixture()
+    def warm_cache(self, tmp_path, monkeypatch):
+        """A cache dir with one current and one stale-version entry."""
+        from repro.harness import runner
+        from repro.harness.diskcache import DiskCache
+        from repro.harness.runner import RunSpec
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+        spec = RunSpec(benchmark="fop", heap_mult=2.0, monitoring=False)
+        record = runner.record_for(spec)
+        DiskCache(root=str(tmp_path)).put(spec, record)
+        DiskCache(root=str(tmp_path), version="v-old").put(spec, record)
+        return str(tmp_path)
+
+    def test_cache_stats_json_is_machine_readable(self, warm_cache,
+                                                  capsys):
+        import json
+
+        main(["cache", "stats", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"] == 1
+        assert doc["stale_entries"] == 1
+        assert doc["records"]["entries"] == 1
+        assert doc["root"] == warm_cache
+
+    def test_cache_prune_dry_run_is_read_only(self, warm_cache, capsys):
+        import json
+
+        main(["cache", "prune", "--dry-run"])
+        out = capsys.readouterr().out
+        assert "would prune 1 stale-version" in out
+        assert "would remain" in out
+        main(["cache", "stats", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stale_entries"] == 1, "dry run deleted nothing"
+        main(["cache", "prune"])
+        out = capsys.readouterr().out
+        assert "pruned 1 stale-version" in out
+        main(["cache", "stats", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stale_entries"] == 0 and doc["entries"] == 1
+
 
 class TestAuditAndDiff:
     def test_audit_text_and_json(self, tmp_path, capsys):
@@ -307,6 +357,69 @@ class TestExplainCli:
             main(["explain", "fop", "--from", record_with_lineage,
                   "--revert", "7"])
         assert "no decision matches revert #7" in str(exc.value)
+
+    def test_doctor_fresh_run(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "doctor.json"
+        main(["doctor", "fop", "--heap-mult", "2", "--json", str(path)])
+        out = capsys.readouterr().out
+        assert "doctor: fop — verdict" in out
+        assert "phase  periods" in out
+        doc = json.loads(path.read_text())
+        assert {"benchmark", "verdict", "report", "storm", "problems",
+                "chains"} <= set(doc)
+        assert doc["benchmark"] == "fop"
+        assert doc["problems"] == []
+        assert doc["report"]["schema"] >= 1
+        assert doc["report"]["phases"], "at least one phase segmented"
+        assert doc["storm"] is None
+
+    def test_doctor_from_record(self, record_with_lineage, capsys):
+        main(["doctor", "fop", "--from", record_with_lineage])
+        out = capsys.readouterr().out
+        assert "doctor: fop — verdict" in out
+        assert "phase  periods" in out
+
+    def test_doctor_record_without_health(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "rec.json"
+        main(["run", "fop", "--heap-mult", "2", "--record", str(path)])
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        doc["health"] = None
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit) as exc:
+            main(["doctor", "fop", "--from", str(path)])
+        assert "carries no health report" in str(exc.value)
+
+    def test_doctor_missing_record(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["doctor", "fop", "--from", "no/such/rec.json"])
+        assert "cannot read" in str(exc.value)
+
+    def test_doctor_non_record_json(self, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("[]")
+        with pytest.raises(SystemExit) as exc:
+            main(["doctor", "fop", "--from", str(junk)])
+        assert "not an exported run record" in str(exc.value)
+
+    def test_timeline_phases_overlay(self, capsys):
+        main(["timeline", "fop", "--heap-mult", "2", "--phases",
+              "--width", "40"])
+        out = capsys.readouterr().out
+        assert "cycles/column" in out
+        assert "phases" in out and "phase(s)" in out
+        assert "phase  periods" in out
+
+    def test_timeline_phases_rejects_from(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text("{}")
+        with pytest.raises(SystemExit) as exc:
+            main(["timeline", "fop", "--from", str(trace), "--phases"])
+        assert "--phases needs a live run" in str(exc.value)
 
     def test_explain_field_selector(self, record_with_lineage, capsys):
         # Pick any decision field present in the record, then ask for it.

@@ -329,3 +329,107 @@ class TestProgress:
         noisy = [r.to_json() for r in engine.run_specs(
             [CHEAP], jobs=1, progress=Recorder())]
         assert noisy == quiet
+
+
+# ---------------------------------------------------------------------------
+# ETA estimation (degenerate batches: all cache hits, zero wall time)
+# ---------------------------------------------------------------------------
+
+class TestEtaEstimate:
+    def test_normal_pace(self):
+        assert engine.estimate_eta(10.0, 2, 4) == pytest.approx(10.0)
+
+    def test_nothing_completed_yet_has_no_eta(self):
+        assert engine.estimate_eta(5.0, 0, 4) is None
+
+    def test_batch_done_is_zero(self):
+        assert engine.estimate_eta(5.0, 4, 4) == 0.0
+        assert engine.estimate_eta(0.0, 0, 0) == 0.0
+
+    def test_zero_elapsed_gives_zero_not_nan(self):
+        # All-cache-hit batches finish in ~0 wall time; the ETA must
+        # come back 0.0, never nan/inf.
+        eta = engine.estimate_eta(0.0, 2, 4)
+        assert eta == 0.0
+
+    def test_non_finite_or_negative_elapsed_suppressed(self):
+        assert engine.estimate_eta(float("inf"), 2, 4) is None
+        assert engine.estimate_eta(float("nan"), 2, 4) is None
+        assert engine.estimate_eta(-1.0, 2, 4) is None
+
+    def test_event_json_drops_non_finite_fields(self):
+        event = engine.JobEvent(kind="finished", benchmark="fop",
+                                spec_key="k" * 24, index=0, total=2,
+                                completed=1, wall_s=float("inf"),
+                                eta_s=float("nan"))
+        doc = event.to_json()
+        assert "wall_s" not in doc and "eta_s" not in doc
+        event.wall_s, event.eta_s = 1.25, 3.0
+        doc = event.to_json()
+        assert doc["wall_s"] == 1.25 and doc["eta_s"] == 3.0
+
+    def test_stderr_progress_never_prints_non_finite_eta(self):
+        import io
+
+        stream = io.StringIO()
+        sink = engine.StderrProgress(stream)
+        sink.emit(engine.JobEvent(kind="finished", benchmark="fop",
+                                  spec_key="k" * 24, index=0, total=3,
+                                  completed=1, wall_s=0.5,
+                                  eta_s=float("inf")))
+        line = stream.getvalue()
+        assert "inf" not in line and "nan" not in line
+        assert "eta" not in line
+
+    def test_all_cache_hit_batch_emits_clean_events(self, disk):
+        engine.run_specs([CHEAP, CHEAP2], jobs=1)
+        runner.clear_cache()  # drop memo; disk layer stays warm
+        rec = Recorder()
+        engine.run_specs([CHEAP, CHEAP2], jobs=1, progress=rec)
+        assert rec.kinds() == ["cache-hit", "cache-hit"]
+        for event in rec.events:
+            doc = json.dumps(event.to_json())
+            assert "Infinity" not in doc and "NaN" not in doc
+
+
+# ---------------------------------------------------------------------------
+# Cache prune dry-run
+# ---------------------------------------------------------------------------
+
+class TestPruneDryRun:
+    def seed(self, disk, tmp_path):
+        """Two current entries plus one stale-version entry."""
+        runner.record_for(CHEAP)
+        runner.record_for(CHEAP2)
+        stale = DiskCache(root=str(tmp_path), version="v-stale")
+        stale.put(CHEAP, runner.record_for(CHEAP))
+
+    def test_dry_run_plans_without_deleting(self, disk, tmp_path):
+        self.seed(disk, tmp_path)
+        before = disk.stats()
+        plan = disk.prune(dry_run=True)
+        assert plan["removed_stale"] == 1
+        assert plan["removed_current"] == 0
+        assert len(plan["would_remove"]) == 1
+        assert os.path.exists(plan["would_remove"][0])
+        assert disk.stats() == before, "dry run must not touch the cache"
+
+    def test_dry_run_byte_budget_matches_real_prune(self, disk, tmp_path):
+        self.seed(disk, tmp_path)
+        plan = disk.prune(max_bytes=0, dry_run=True)
+        assert plan["removed_current"] == 2
+        assert len(plan["would_remove"]) == 3  # 1 stale + 2 evicted
+        assert disk.stats()["entries"] == 2, "still intact"
+        real = disk.prune(max_bytes=0)
+        assert "would_remove" not in real
+        assert (real["removed_stale"], real["removed_current"]) \
+            == (plan["removed_stale"], plan["removed_current"])
+        assert real["bytes"] == plan["bytes"] == 0
+        assert disk.stats()["entries"] == 0
+
+    def test_real_prune_removes_exactly_the_planned_files(self, disk,
+                                                          tmp_path):
+        self.seed(disk, tmp_path)
+        planned = set(disk.prune(max_bytes=0, dry_run=True)["would_remove"])
+        disk.prune(max_bytes=0)
+        assert planned and not any(os.path.exists(p) for p in planned)

@@ -339,7 +339,7 @@ class TestEndToEnd:
         record = RunRecord.from_result(result)
         assert record.lineage is not None
         doc = record.to_json()
-        assert doc["schema"] == SCHEMA_VERSION == 4
+        assert doc["schema"] == SCHEMA_VERSION == 5
         reloaded = RunRecord.from_json(json.loads(json.dumps(doc)))
         assert reloaded.lineage == record.lineage
         assert explain.validate(reloaded.lineage) == []
