@@ -18,6 +18,11 @@ fig2 .. fig8              regenerate a figure
 ablations                 run the ablation experiments
 cache stats|prune|clear   inspect, trim, or drop the persistent result
                           cache (records and resumable snapshots)
+serve [options]           fleet daemon: HTTP/JSON job queue over the
+                          engine with live /events and /metrics
+submit BENCH... [--wait]  submit a batch to the daemon
+jobs [JOB]                list the daemon's jobs (or one, --wait)
+watch [--from LOG]        live fleet dashboard (or offline replay)
 
 ``bench`` runs the registered host-side benchmark cases (the CI perf
 gates) with warmup/repeats and robust stats, appends every run to the
@@ -707,6 +712,125 @@ def cmd_cache(args) -> None:
         print(f"size          : {stats['bytes'] / 1024:.1f} KiB")
 
 
+def cmd_serve(args) -> None:
+    from repro.fleet import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    raise SystemExit(serve(
+        host=args.host or DEFAULT_HOST,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        events_log=args.events_log))
+
+
+def _submit_docs(args) -> List[dict]:
+    from dataclasses import asdict
+
+    docs = []
+    for benchmark in args.submit_benchmarks:
+        spec = RunSpec(
+            benchmark=benchmark,
+            heap_mult=args.heap_mult,
+            coalloc=args.coalloc,
+            monitoring=not args.no_monitoring,
+            interval=args.interval,
+            gc_plan=args.gc_plan,
+            event=args.event,
+            seed=args.seed,
+            until_cycles=args.until_cycles,
+        )
+        docs.append(asdict(spec))
+    return docs
+
+
+def _fleet_client(args):
+    from repro.fleet import FleetClient
+
+    return FleetClient(args.url, timeout=args.timeout)
+
+
+def _print_job(doc: dict) -> None:
+    print(f"job {doc['job']}: {doc['state']} "
+          f"({doc['completed']}/{doc['specs']} specs)"
+          + (f" error: {doc['error']}" if doc.get("error") else ""))
+    for row in doc.get("spec_states", ()):
+        flags = []
+        if row.get("coalesced"):
+            flags.append("coalesced")
+        if row.get("wall_s") is not None:
+            flags.append(f"{row['wall_s']:.2f}s")
+        if row.get("error"):
+            flags.append(f"error: {row['error']}")
+        tail = ("  (" + ", ".join(flags) + ")") if flags else ""
+        print(f"  {row['state']:>9}  {row['benchmark']:<10} "
+              f"{row['spec']}{tail}")
+
+
+def cmd_submit(args) -> None:
+    import json
+
+    from repro.fleet import FleetClientError
+
+    client = _fleet_client(args)
+    try:
+        doc = client.submit(_submit_docs(args),
+                            leg_cycles=args.leg_cycles, wait=args.wait)
+    except FleetClientError as exc:
+        raise SystemExit(f"submit: {exc}")
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return
+    _print_job(doc)
+    if doc.get("state") == "failed":
+        raise SystemExit(1)
+
+
+def cmd_jobs(args) -> None:
+    import json
+
+    from repro.fleet import FleetClientError
+
+    client = _fleet_client(args)
+    try:
+        if args.job_id:
+            doc = client.job(args.job_id, wait=args.wait)
+            if args.json:
+                print(json.dumps(doc, indent=1, sort_keys=True))
+            else:
+                _print_job(doc)
+            return
+        rows = client.jobs()
+    except FleetClientError as exc:
+        raise SystemExit(f"jobs: {exc}")
+    if args.json:
+        print(json.dumps(rows, indent=1, sort_keys=True))
+        return
+    if not rows:
+        print("no jobs submitted yet")
+        return
+    for doc in rows:
+        _print_job(doc)
+
+
+def cmd_watch(args) -> None:
+    from repro.fleet import FleetClientError, watch
+
+    if args.from_log:
+        try:
+            state = watch.replay_file(args.from_log)
+        except OSError as exc:
+            raise SystemExit(f"watch: cannot read {args.from_log!r}: {exc}")
+        print(watch.render(state, width=args.width))
+        return
+    client = _fleet_client(args)
+    try:
+        watch.watch_stream(client.events(backlog=not args.no_backlog),
+                           width=args.width, raw_json=args.json)
+    except FleetClientError as exc:
+        raise SystemExit(f"watch: {exc}")
+    except KeyboardInterrupt:
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1016,6 +1140,81 @@ def main(argv: Optional[List[str]] = None) -> None:
                                   "BENCH_*.json in . and results/)")
     add_bench_history_option(bench_mig_p)
 
+    serve_p = sub.add_parser(
+        "serve", help="run the fleet daemon: an HTTP/JSON job queue over "
+                      "the engine with live /events and /metrics")
+    serve_p.add_argument("--host", default=None,
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="bind port (default 8077; 0 = ephemeral)")
+    serve_p.add_argument("--jobs", type=positive_int, default=None,
+                         metavar="N",
+                         help="worker processes per batch (default: "
+                              "REPRO_JOBS or the CPU count)")
+    serve_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="disk-cache root for this daemon (default: "
+                              "REPRO_CACHE_DIR or results/.cache)")
+    serve_p.add_argument("--events-log", metavar="PATH", default=None,
+                         help="tee every fleet event to a JSONL file "
+                              "(replayable with `repro watch --from`)")
+
+    def add_fleet_client_options(p) -> None:
+        p.add_argument("--url", metavar="URL", default=None,
+                       help="daemon base URL (default http://127.0.0.1:8077)")
+        p.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                       help="per-request timeout in seconds (default 30)")
+        p.add_argument("--json", action="store_true",
+                       help="print raw JSON instead of the summary")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a batch of benchmarks to the fleet daemon")
+    submit_p.add_argument("submit_benchmarks", nargs="+", metavar="BENCH",
+                          choices=suite.extended_names(),
+                          help="benchmarks to run (one spec each)")
+    submit_p.add_argument("--heap-mult", type=float, default=4.0)
+    submit_p.add_argument("--coalloc", action="store_true")
+    submit_p.add_argument("--no-monitoring", action="store_true")
+    submit_p.add_argument("--interval", default="auto",
+                          choices=["25K", "50K", "100K", "auto"])
+    submit_p.add_argument("--gc-plan", default="genms",
+                          choices=["genms", "gencopy"])
+    submit_p.add_argument("--event", default="L1D_MISS",
+                          choices=["L1D_MISS", "L2_MISS", "DTLB_MISS"])
+    submit_p.add_argument("--seed", type=int, default=1)
+    submit_p.add_argument("--until-cycles", type=int, default=None,
+                          metavar="N")
+    submit_p.add_argument("--leg-cycles", type=positive_int, default=None,
+                          metavar="N",
+                          help="shard each run into checkpoint legs of N "
+                               "cycles (run_specs_sharded)")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="long-poll until the job is terminal; exit "
+                               "1 if it failed")
+    add_fleet_client_options(submit_p)
+
+    jobs_p = sub.add_parser(
+        "jobs", help="list the fleet daemon's jobs (or show one)")
+    jobs_p.add_argument("job_id", nargs="?", default=None, metavar="JOB",
+                        help="job id for per-spec detail (default: all)")
+    jobs_p.add_argument("--wait", action="store_true",
+                        help="with JOB: long-poll until it is terminal")
+    add_fleet_client_options(jobs_p)
+
+    watch_p = sub.add_parser(
+        "watch", help="live terminal dashboard over the fleet event "
+                      "stream (or replay a recorded one)")
+    watch_p.add_argument("--from", dest="from_log", metavar="EVENTS.jsonl",
+                         default=None,
+                         help="replay a recorded event stream (`serve "
+                              "--events-log` / `--progress-log`) offline "
+                              "instead of connecting")
+    watch_p.add_argument("--no-backlog", action="store_true",
+                         help="skip the daemon's replayed event history; "
+                              "show only new events")
+    watch_p.add_argument("--width", type=positive_int, default=100,
+                         help="dashboard width in columns (default 100)")
+    add_fleet_client_options(watch_p)
+
     dis_p = sub.add_parser("disasm", help="disassemble a benchmark method")
     dis_p.add_argument("benchmark", choices=suite.all_names())
     dis_p.add_argument("method", help="qualified name, e.g. App.scan")
@@ -1052,6 +1251,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         "fig5": cmd_fig5, "fig6": cmd_fig6, "fig7": cmd_fig7,
         "fig8": cmd_fig8, "ablations": cmd_ablations,
         "disasm": cmd_disasm, "cache": cmd_cache, "bench": cmd_bench,
+        "serve": cmd_serve, "submit": cmd_submit, "jobs": cmd_jobs,
+        "watch": cmd_watch,
     }
     try:
         handlers[args.command](args)

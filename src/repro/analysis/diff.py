@@ -193,6 +193,29 @@ def diff_records(a: RunRecord, b: RunRecord,
                       lineage_divergence=divergence)
 
 
+def record_from_doc(doc: object) -> RunRecord:
+    """Rebuild a record from an already-parsed JSON document.
+
+    Accepts both the bare record document (``repro run --record``) and
+    the envelope form (``{"version"/"spec", "record"}``) that the disk
+    cache writes and the fleet server's ``GET /records/<key>`` returns.
+    """
+    if isinstance(doc, dict) and "record" in doc and "schema" not in doc:
+        doc = doc["record"]
+    return RunRecord.from_json(doc)
+
+
+def diff_docs(a_doc: object, b_doc: object,
+              threshold: float = DEFAULT_THRESHOLD) -> RecordDiff:
+    """Diff two record JSON documents (either bare or enveloped).
+
+    The wire-level entry point behind the fleet server's ``GET /diff``:
+    both sides arrive as parsed JSON, never as live records.
+    """
+    return diff_records(record_from_doc(a_doc), record_from_doc(b_doc),
+                        threshold=threshold)
+
+
 def load_record(path: str) -> RunRecord:
     """Load a record from a JSON file.
 
@@ -201,9 +224,7 @@ def load_record(path: str) -> RunRecord:
     """
     with open(path, "r") as fh:
         doc = json.load(fh)
-    if isinstance(doc, dict) and "record" in doc and "schema" not in doc:
-        doc = doc["record"]
-    return RunRecord.from_json(doc)
+    return record_from_doc(doc)
 
 
 def format_diff(diff: RecordDiff, a_name: str = "a",

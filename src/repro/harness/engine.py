@@ -40,6 +40,7 @@ import json
 import math
 import os
 import sys
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
@@ -87,6 +88,14 @@ class JobEvent:
     ``wall_s`` (finished only) is the job's wall time; ``eta_s``
     (finished only) extrapolates the remaining work from the mean wall
     time of the jobs completed so far.
+
+    ``ts`` (monotonic seconds, stamped at construction unless given)
+    orders events when several streams are multiplexed into one log;
+    ``batch`` tags every event of one engine call with the submitter's
+    batch id, so a consumer tailing a shared stream — the fleet
+    server's ``/events`` endpoint — can demux concurrent batches.
+    Both are additive: consumers of the pre-existing keys are
+    unaffected, and ``batch`` is omitted from the JSON when unset.
     """
 
     kind: str
@@ -97,12 +106,22 @@ class JobEvent:
     completed: int = 0    # jobs finished so far, including this one
     wall_s: Optional[float] = None
     eta_s: Optional[float] = None
+    ts: Optional[float] = None     # monotonic seconds (auto-stamped)
+    batch: Optional[str] = None    # submitting batch id, if any
+
+    def __post_init__(self):
+        if self.ts is None:
+            self.ts = time.monotonic()
 
     def to_json(self) -> dict:
         doc = {"type": "job", "kind": self.kind,
                "benchmark": self.benchmark, "spec": self.spec_key,
                "index": self.index, "total": self.total,
                "completed": self.completed}
+        if self.ts is not None and math.isfinite(self.ts):
+            doc["ts"] = round(self.ts, 4)
+        if self.batch is not None:
+            doc["batch"] = self.batch
         if self.wall_s is not None and math.isfinite(self.wall_s):
             doc["wall_s"] = round(self.wall_s, 4)
         if self.eta_s is not None and math.isfinite(self.eta_s):
@@ -162,7 +181,14 @@ class JsonlProgress:
 
 
 class TeeProgress:
-    """Fan one event stream out to several sinks."""
+    """Fan one event stream out to several sinks.
+
+    ``close()`` is exception-safe: every sink's ``close`` runs even
+    when an earlier one raises (the first failure is re-raised after
+    the sweep).  The fleet server tees one engine stream to many
+    subscriber sinks, and one subscriber's broken pipe must not leak
+    the others' file handles.
+    """
 
     def __init__(self, *sinks: ProgressSink):
         self.sinks = [s for s in sinks if s is not None]
@@ -172,23 +198,37 @@ class TeeProgress:
             sink.emit(event)
 
     def close(self) -> None:
+        first_error: Optional[BaseException] = None
         for sink in self.sinks:
-            sink.close()
+            try:
+                sink.close()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
 
 #: Process-wide default sink (installed by the CLI's --progress flags);
-#: an explicit ``progress=`` argument always wins.
+#: an explicit ``progress=`` argument always wins.  Guarded by a lock:
+#: the fleet server installs/clears sinks from its event loop thread
+#: while engine calls resolve them from worker threads.
 _DEFAULT_PROGRESS: Optional[ProgressSink] = None
+_DEFAULT_PROGRESS_LOCK = threading.Lock()
 
 
 def set_default_progress(sink: Optional[ProgressSink]) -> None:
     """Install (or clear, with None) the process-wide progress sink."""
     global _DEFAULT_PROGRESS
-    _DEFAULT_PROGRESS = sink
+    with _DEFAULT_PROGRESS_LOCK:
+        _DEFAULT_PROGRESS = sink
 
 
 def _resolve_progress(progress: Optional[ProgressSink]) -> Optional[ProgressSink]:
-    return progress if progress is not None else _DEFAULT_PROGRESS
+    if progress is not None:
+        return progress
+    with _DEFAULT_PROGRESS_LOCK:
+        return _DEFAULT_PROGRESS
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -229,14 +269,17 @@ def _run_one(payload) -> dict:
 
 def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
               trace_dir: Optional[str] = None,
-              progress: Optional[ProgressSink] = None) -> List[RunRecord]:
+              progress: Optional[ProgressSink] = None,
+              batch: Optional[str] = None) -> List[RunRecord]:
     """Compute (or recall) records for ``specs``; results in input order.
 
     Every unique uncached spec is simulated exactly once; duplicates and
     cache hits are free.  The round trip through RunRecord JSON is the
     same in the serial and parallel paths, so ``jobs`` can never change
     a result — only how fast it arrives.  ``progress`` (or the default
-    installed via :func:`set_default_progress`) observes the fleet.
+    installed via :func:`set_default_progress`) observes the fleet;
+    ``batch`` tags every emitted event with the submitter's batch id so
+    concurrent engine calls sharing one sink stay demuxable.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
@@ -254,7 +297,7 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
             elif progress is not None:
                 progress.emit(JobEvent("cache-hit", spec.benchmark,
                                        spec_key(spec), index=len(seen) - 1,
-                                       total=0))
+                                       total=0, batch=batch))
 
     if missing:
         total = len(missing)
@@ -262,7 +305,7 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
         if progress is not None:
             for i, spec in enumerate(missing):
                 progress.emit(JobEvent("queued", spec.benchmark, keys[i],
-                                       index=i, total=total))
+                                       index=i, total=total, batch=batch))
         payloads = [(asdict(spec), trace_dir) for spec in missing]
         docs: List[Optional[dict]] = [None] * total
         started = time.monotonic()
@@ -277,13 +320,14 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
                 progress.emit(JobEvent(
                     "finished", missing[i].benchmark, keys[i], index=i,
                     total=total, completed=completed, wall_s=wall_s,
-                    eta_s=eta))
+                    eta_s=eta, batch=batch))
 
         if jobs == 1 or total == 1:
             for i, payload in enumerate(payloads):
                 if progress is not None:
                     progress.emit(JobEvent("started", missing[i].benchmark,
-                                           keys[i], index=i, total=total))
+                                           keys[i], index=i, total=total,
+                                           batch=batch))
                 t0 = time.monotonic()
                 docs[i] = _run_one(payload)
                 note_finished(i, time.monotonic() - t0)
@@ -304,7 +348,7 @@ def run_specs(specs: Iterable[RunSpec], jobs: Optional[int] = None,
                         progress.emit(JobEvent("started",
                                                missing[i].benchmark,
                                                keys[i], index=i,
-                                               total=total))
+                                               total=total, batch=batch))
                 pending = set(futures)
                 while pending:
                     done, pending = wait(pending,
@@ -360,6 +404,7 @@ def _run_leg(payload) -> dict:
 def run_specs_sharded(specs: Iterable[RunSpec], leg_cycles: int,
                       jobs: Optional[int] = None,
                       progress: Optional[ProgressSink] = None,
+                      batch: Optional[str] = None,
                       ) -> List[RunRecord]:
     """Compute records with each run pipelined as checkpoint legs.
 
@@ -394,7 +439,7 @@ def run_specs_sharded(specs: Iterable[RunSpec], leg_cycles: int,
             elif progress is not None:
                 progress.emit(JobEvent("cache-hit", spec.benchmark,
                                        spec_key(spec), index=len(seen) - 1,
-                                       total=0))
+                                       total=0, batch=batch))
 
     if missing:
         total = len(missing)
@@ -415,7 +460,7 @@ def run_specs_sharded(specs: Iterable[RunSpec], leg_cycles: int,
                 if progress is not None:
                     progress.emit(JobEvent("leg", missing[i].benchmark,
                                            keys[i], index=i, total=total,
-                                           completed=completed))
+                                           completed=completed, batch=batch))
                 return (payloads[i][0], outcome["data"], leg_cycles)
             runner.store_record(missing[i],
                                 RunRecord.from_json(outcome["record"]))
@@ -425,13 +470,14 @@ def run_specs_sharded(specs: Iterable[RunSpec], leg_cycles: int,
                 eta = estimate_eta(elapsed, completed, total)
                 progress.emit(JobEvent("finished", missing[i].benchmark,
                                        keys[i], index=i, total=total,
-                                       completed=completed, eta_s=eta))
+                                       completed=completed, eta_s=eta,
+                                       batch=batch))
             return None
 
         if progress is not None:
             for i, spec in enumerate(missing):
                 progress.emit(JobEvent("queued", spec.benchmark, keys[i],
-                                       index=i, total=total))
+                                       index=i, total=total, batch=batch))
         if jobs == 1 or total == 1:
             for i in range(total):
                 payload = payloads[i]
@@ -458,7 +504,8 @@ def run_specs_sharded(specs: Iterable[RunSpec], leg_cycles: int,
 
 def warm(specs: Iterable[RunSpec], jobs: Optional[int] = None,
          trace_dir: Optional[str] = None,
-         progress: Optional[ProgressSink] = None) -> int:
+         progress: Optional[ProgressSink] = None,
+         batch: Optional[str] = None) -> int:
     """Precompute records for ``specs``; returns how many were missing.
 
     After warming, serial harness code (``measure`` loops in the figure
@@ -467,5 +514,6 @@ def warm(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     specs = list(specs)
     uncached = sum(1 for spec in dict.fromkeys(specs)
                    if runner.cached_record(spec) is None)
-    run_specs(specs, jobs=jobs, trace_dir=trace_dir, progress=progress)
+    run_specs(specs, jobs=jobs, trace_dir=trace_dir, progress=progress,
+              batch=batch)
     return uncached

@@ -203,6 +203,93 @@ def write_prometheus(path: str, metrics: MetricsRegistry,
         fh.write(prometheus_text(metrics, prefix))
 
 
+#: One sample line: name, optional {labels}, numeric value.
+_PROM_SERIES_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\",?)*)\})?"
+    r" (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|\+?Inf|NaN))$")
+
+_PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, dict]:
+    """Parse (and validate) Prometheus 0.0.4 text exposition.
+
+    Returns ``{metric_name: {"type": str|None, "help": str|None,
+    "samples": [(series_name, labels_dict, value), ...]}}`` where
+    histogram ``_bucket``/``_sum``/``_count`` series are grouped under
+    their base metric name.  Raises :class:`ValueError` on any grammar
+    violation — an unparseable line, a ``TYPE`` naming an unknown kind,
+    a non-cumulative histogram, or missing final newline — so scrapers
+    and tests can treat "parses" as a hard gate, not a best effort.
+    """
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    metrics: Dict[str, dict] = {}
+
+    def base_name(series: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if series.endswith(suffix):
+                stripped = series[:-len(suffix)]
+                entry = metrics.get(stripped)
+                if entry is not None and entry["type"] == "histogram":
+                    return stripped
+        return series
+
+    def entry_for(name: str) -> dict:
+        return metrics.setdefault(
+            name, {"type": None, "help": None, "samples": []})
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            if not parts or not parts[0]:
+                raise ValueError(f"line {lineno}: malformed HELP")
+            entry_for(parts[0])["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2 or parts[1] not in _PROM_TYPES:
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            entry_for(parts[0])["type"] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        match = _PROM_SERIES_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        series, raw_labels, raw_value = match.groups()
+        labels: Dict[str, str] = {}
+        if raw_labels:
+            for pair in re.findall(
+                    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"',
+                    raw_labels):
+                labels[pair[0]] = pair[1]
+        value = float(raw_value.replace("Inf", "inf"))
+        entry_for(base_name(series))["samples"].append(
+            (series, labels, value))
+
+    for name, entry in metrics.items():
+        if entry["type"] != "histogram":
+            continue
+        buckets = [(lbl.get("le"), val) for ser, lbl, val in entry["samples"]
+                   if ser == name + "_bucket"]
+        if not buckets:
+            raise ValueError(f"histogram {name} has no buckets")
+        if buckets[-1][0] != "+Inf":
+            raise ValueError(f"histogram {name} missing le=\"+Inf\" bucket")
+        counts = [val for _le, val in buckets]
+        if counts != sorted(counts):
+            raise ValueError(f"histogram {name} buckets not cumulative")
+        series_names = {ser for ser, _lbl, _val in entry["samples"]}
+        for required in (name + "_sum", name + "_count"):
+            if required not in series_names:
+                raise ValueError(f"histogram {name} missing {required}")
+    return metrics
+
+
 # ---------------------------------------------------------------------------
 # Collapsed stacks (flamegraph.pl / speedscope)
 # ---------------------------------------------------------------------------

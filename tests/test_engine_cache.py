@@ -331,6 +331,120 @@ class TestProgress:
         assert noisy == quiet
 
 
+class TestEventTsAndBatch:
+    """Additive JobEvent fields: monotonic ``ts`` and ``batch`` tag."""
+
+    def test_ts_stamped_and_serialized(self):
+        import time
+
+        before = time.monotonic()
+        event = engine.JobEvent("queued", "fop", "k", 0, 1)
+        after = time.monotonic()
+        assert before <= event.ts <= after
+        doc = event.to_json()
+        assert doc["ts"] == round(event.ts, 4)
+
+    def test_explicit_ts_preserved(self):
+        event = engine.JobEvent("queued", "fop", "k", 0, 1, ts=12.5)
+        assert event.to_json()["ts"] == 12.5
+
+    def test_batch_omitted_when_unset(self, disk):
+        rec = Recorder()
+        engine.run_specs([CHEAP], jobs=1, progress=rec)
+        for event in rec.events:
+            assert event.batch is None
+            assert "batch" not in event.to_json(), \
+                "untagged streams must serialize exactly as before"
+
+    def test_batch_tags_every_event(self, disk):
+        rec = Recorder()
+        runner.clear_cache(disk=True)
+        engine.run_specs([CHEAP, CHEAP2], jobs=1, progress=rec,
+                         batch="b7")
+        assert rec.events, "sanity"
+        assert all(e.batch == "b7" for e in rec.events)
+        assert all(e.to_json()["batch"] == "b7" for e in rec.events)
+        # Cache hits are tagged too.
+        rec2 = Recorder()
+        engine.run_specs([CHEAP], jobs=1, progress=rec2, batch="b8")
+        assert rec2.kinds() == ["cache-hit"]
+        assert rec2.events[0].batch == "b8"
+
+    def test_sharded_batch_tagging(self, disk):
+        rec = Recorder()
+        runner.clear_cache(disk=True)
+        engine.run_specs_sharded([CHEAP], leg_cycles=200_000, jobs=1,
+                                 progress=rec, batch="b9")
+        assert rec.events
+        assert all(e.batch == "b9" for e in rec.events)
+
+
+class TestProgressRobustness:
+    """Satellite hardening: lock-guarded default sink, safe tee close."""
+
+    def test_tee_close_survives_failing_sink(self):
+        class Exploding:
+            closed = False
+
+            def emit(self, event):
+                pass
+
+            def close(self):
+                raise OSError("disk full")
+
+        a, boom, b = Recorder(), Exploding(), Recorder()
+        tee = engine.TeeProgress(a, boom, b)
+        with pytest.raises(OSError, match="disk full"):
+            tee.close()
+        assert a.closed and b.closed, \
+            "one failing sink must not skip the rest"
+
+    def test_tee_close_reports_first_of_many_errors(self):
+        class Exploding:
+            def __init__(self, message):
+                self.message = message
+
+            def emit(self, event):
+                pass
+
+            def close(self):
+                raise ValueError(self.message)
+
+        tee = engine.TeeProgress(Exploding("first"), Exploding("second"))
+        with pytest.raises(ValueError, match="first"):
+            tee.close()
+
+    def test_default_progress_thread_safety(self, disk):
+        """Concurrent set/resolve must never corrupt the default sink
+        (the accessors are lock-guarded)."""
+        import threading
+
+        rec = Recorder()
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    engine.set_default_progress(rec)
+                    engine.set_default_progress(None)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                engine.run_specs([CHEAP], jobs=1)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        engine.set_default_progress(None)
+        assert not errors
+
+
 # ---------------------------------------------------------------------------
 # ETA estimation (degenerate batches: all cache hits, zero wall time)
 # ---------------------------------------------------------------------------

@@ -9,10 +9,12 @@ required keys and, for the Prometheus output, the exact rendered text.
 import json
 import re
 
+import pytest
+
 from repro.telemetry.export import (chrome_trace, collapsed_stacks,
                                     format_collapsed, jsonl_records,
-                                    prometheus_text, write_collapsed,
-                                    write_prometheus)
+                                    parse_prometheus_text, prometheus_text,
+                                    write_collapsed, write_prometheus)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 
@@ -233,3 +235,84 @@ class TestPrometheusFormat:
         path = tmp_path / "metrics.prom"
         write_prometheus(str(path), build_metrics())
         assert path.read_text() == prometheus_text(build_metrics())
+
+
+class TestParsePrometheusText:
+    """The 0.0.4 validator behind /metrics scrape checks: a round trip
+    through render -> parse must recover every instrument, and grammar
+    violations must be hard errors, not best-effort skips."""
+
+    def test_round_trip_of_rendered_registry(self):
+        parsed = parse_prometheus_text(prometheus_text(build_metrics()))
+        assert set(parsed) == {"repro_batch_size",
+                               "repro_feedback_reverts",
+                               "repro_gc_pauses", "repro_vm_cycles"}
+        hist = parsed["repro_batch_size"]
+        assert hist["type"] == "histogram"
+        assert hist["help"] == "batch sizes"
+        buckets = [(labels["le"], value)
+                   for series, labels, value in hist["samples"]
+                   if series == "repro_batch_size_bucket"]
+        assert buckets == [("2", 1.0), ("4", 3.0), ("+Inf", 3.0)]
+        flat = {series: value
+                for doc in parsed.values()
+                for series, _labels, value in doc["samples"]}
+        assert flat["repro_batch_size_sum"] == 7.0
+        assert flat["repro_batch_size_count"] == 3.0
+        assert flat["repro_gc_pauses"] == 3.0
+        assert flat["repro_vm_cycles"] == 42.0
+        reverts = parsed["repro_feedback_reverts"]["samples"]
+        assert reverts == [("repro_feedback_reverts",
+                            {"label0": "gap-128"}, 1.0)]
+        # Untyped gauge comment rules: vm_cycles has TYPE but no HELP.
+        assert parsed["repro_vm_cycles"]["type"] == "gauge"
+        assert parsed["repro_vm_cycles"]["help"] is None
+
+    def test_comments_blank_lines_and_special_values(self):
+        parsed = parse_prometheus_text(
+            "# a plain comment\n"
+            "\n"
+            "x_inf +Inf\n"
+            "x_neg -2.5e3\n")
+        flat = {s: v for doc in parsed.values()
+                for s, _l, v in doc["samples"]}
+        assert flat["x_inf"] == float("inf")
+        assert flat["x_neg"] == -2500.0
+
+    def test_missing_trailing_newline_rejected(self):
+        with pytest.raises(ValueError, match="newline"):
+            parse_prometheus_text("repro_x 1")
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError, match="not a valid sample"):
+            parse_prometheus_text("repro_x one\n")
+        with pytest.raises(ValueError, match="not a valid sample"):
+            parse_prometheus_text("9leading_digit 1\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus_text("# TYPE repro_x speedometer\n")
+
+    def test_non_cumulative_histogram_rejected(self):
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 9\n"
+                "h_count 3\n")
+
+    def test_histogram_missing_inf_bucket_rejected(self):
+        with pytest.raises(ValueError, match="\\+Inf"):
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                "h_sum 1\n"
+                "h_count 1\n")
+
+    def test_histogram_missing_sum_or_count_rejected(self):
+        with pytest.raises(ValueError, match="h_count"):
+            parse_prometheus_text(
+                "# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 1\n'
+                "h_sum 1\n")
